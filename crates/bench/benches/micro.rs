@@ -1,0 +1,135 @@
+//! Criterion micro-benchmarks and ablations.
+//!
+//! These complement the figure binaries with per-operation timings:
+//!
+//! * safe-region computation cost per method (Circle vs Tile vs Tile-D vs Tile-D-b),
+//! * GT-Verify vs IT-Verify (the grouping optimisation of Section 5.3),
+//! * index pruning on/off (Theorem 3),
+//! * R-tree GNN query cost,
+//! * tile-region compression encode/decode throughput.
+#![allow(missing_docs)] // criterion's macros generate undocumented entry points
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use mpn_core::{
+    circle_msr, tile_msr, CompressedTileRegion, Method, MpnServer, Objective, TileMsrConfig,
+    VerifierKind, DEFAULT_RADIUS_CAP,
+};
+use mpn_geom::Point;
+use mpn_index::{Aggregate, GnnSearch, RTree};
+use mpn_mobility::poi::{clustered_pois, PoiConfig};
+
+fn poi_tree(n: usize) -> RTree {
+    let pois = clustered_pois(&PoiConfig { count: n, domain: 10_000.0, ..PoiConfig::default() }, 7);
+    RTree::bulk_load(&pois)
+}
+
+fn users(m: usize) -> Vec<Point> {
+    (0..m)
+        .map(|i| Point::new(4_000.0 + 300.0 * i as f64, 5_000.0 + 170.0 * (i as f64).sin() * 200.0))
+        .collect()
+}
+
+fn bench_safe_region_methods(c: &mut Criterion) {
+    let tree = poi_tree(8_000);
+    let group = users(3);
+    let mut g = c.benchmark_group("safe_region_computation");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    let methods = [
+        ("circle", Method::circle()),
+        ("tile", Method::tile()),
+        ("tile_directed", Method::tile_directed(std::f64::consts::FRAC_PI_4)),
+        ("tile_directed_buffered", Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 100)),
+    ];
+    for (name, method) in methods {
+        let server = MpnServer::new(&tree, Objective::Max, method);
+        g.bench_function(name, |b| b.iter(|| black_box(server.compute(black_box(&group)))));
+    }
+    for (name, method) in [("sum_tile", Method::tile()), ("sum_circle", Method::circle())] {
+        let server = MpnServer::new(&tree, Objective::Sum, method);
+        g.bench_function(name, |b| b.iter(|| black_box(server.compute(black_box(&group)))));
+    }
+    g.finish();
+}
+
+fn bench_verifier_ablation(c: &mut Criterion) {
+    let tree = poi_tree(4_000);
+    let group = users(3);
+    let mut g = c.benchmark_group("verifier_ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(3));
+    for (name, verifier) in [("gt_verify", VerifierKind::Gt), ("it_verify", VerifierKind::It)] {
+        let config = TileMsrConfig { verifier, alpha: 10, ..TileMsrConfig::default() };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(tile_msr(&tree, &group, Objective::Max, &config, None)))
+        });
+    }
+    for (name, pruning) in [("pruning_on", true), ("pruning_off", false)] {
+        let config = TileMsrConfig { index_pruning: pruning, alpha: 10, ..TileMsrConfig::default() };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(tile_msr(&tree, &group, Objective::Max, &config, None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gnn_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gnn_query");
+    g.warm_up_time(std::time::Duration::from_millis(500));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for n in [2_000usize, 8_000, 21_287] {
+        let tree = poi_tree(n);
+        let group = users(3);
+        for agg in [Aggregate::Max, Aggregate::Sum] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("top2_{}", agg.name()), n),
+                &n,
+                |b, _| {
+                    b.iter(|| black_box(GnnSearch::new(&tree, &group, agg).top_k(2)))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_circle_radius(c: &mut Criterion) {
+    let tree = poi_tree(21_287);
+    let group = users(5);
+    c.bench_function("circle_msr_21k_pois", |b| {
+        b.iter(|| black_box(circle_msr(&tree, &group, Objective::Max, DEFAULT_RADIUS_CAP)))
+    });
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let tree = poi_tree(8_000);
+    let group = users(3);
+    let out = tile_msr(&tree, &group, Objective::Max, &TileMsrConfig::default(), None);
+    let region = out
+        .regions
+        .iter()
+        .max_by_key(|r| r.len())
+        .expect("at least one region")
+        .clone();
+    let encoded = CompressedTileRegion::encode(&region).expect("encodable");
+    let mut g = c.benchmark_group("compression");
+    g.bench_function("encode", |b| {
+        b.iter(|| black_box(CompressedTileRegion::encode(black_box(&region)).unwrap()))
+    });
+    g.bench_function("decode", |b| b.iter(|| black_box(encoded.decode())));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_safe_region_methods,
+    bench_verifier_ablation,
+    bench_gnn_queries,
+    bench_circle_radius,
+    bench_compression
+);
+criterion_main!(benches);

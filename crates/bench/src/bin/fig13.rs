@@ -1,0 +1,23 @@
+//! Figure 13: MPN, effect of the user group size `m` (update frequency, communication cost and
+//! running time on the GeoLife-like and Oldenburg-like workloads).
+
+use mpn_bench::params::{Scale, GROUP_SIZES};
+use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_core::Objective;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig13: scale = {}", scale.name());
+    for kind in TrajectoryKind::all() {
+        let tree = build_poi_tree(scale, 1.0, 42);
+        let mut rows = Vec::new();
+        for &m in &GROUP_SIZES {
+            let workload = build_workload(kind, scale, m, 1.0, 100 + m as u64);
+            for spec in method_suite() {
+                let summary = run_cell(&tree, &workload, Objective::Max, spec.method);
+                rows.push((format!("{m}"), spec.label, summary));
+            }
+        }
+        print_series(&format!("Figure 13 ({}) — vary group size m", kind.name()), "m", &rows);
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 14: MPN, effect of the data size `n` (as a fraction of the full POI set `N`).
+
+use mpn_bench::params::{Scale, DATA_FRACTIONS, DEFAULT_GROUP_SIZE};
+use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_core::Objective;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig14: scale = {}", scale.name());
+    for kind in TrajectoryKind::all() {
+        let workload = build_workload(kind, scale, DEFAULT_GROUP_SIZE, 1.0, 200);
+        let mut rows = Vec::new();
+        for &fraction in &DATA_FRACTIONS {
+            let tree = build_poi_tree(scale, fraction, 42);
+            for spec in method_suite() {
+                let summary = run_cell(&tree, &workload, Objective::Max, spec.method);
+                rows.push((format!("{fraction}"), spec.label, summary));
+            }
+        }
+        print_series(&format!("Figure 14 ({}) — vary data size n", kind.name()), "n_fraction", &rows);
+    }
+}

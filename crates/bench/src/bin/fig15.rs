@@ -1,0 +1,22 @@
+//! Figure 15: MPN, effect of the user speed (as a fraction of the speed limit `V`).
+
+use mpn_bench::params::{Scale, DEFAULT_GROUP_SIZE, SPEED_FRACTIONS};
+use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_core::Objective;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig15: scale = {}", scale.name());
+    for kind in TrajectoryKind::all() {
+        let tree = build_poi_tree(scale, 1.0, 42);
+        let mut rows = Vec::new();
+        for &speed in &SPEED_FRACTIONS {
+            let workload = build_workload(kind, scale, DEFAULT_GROUP_SIZE, speed, 300);
+            for spec in method_suite() {
+                let summary = run_cell(&tree, &workload, Objective::Max, spec.method);
+                rows.push((format!("{speed}"), spec.label, summary));
+            }
+        }
+        print_series(&format!("Figure 15 ({}) — vary user speed", kind.name()), "speed_fraction", &rows);
+    }
+}

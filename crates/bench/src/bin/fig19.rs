@@ -1,0 +1,27 @@
+//! Figure 19: Sum-MPN, effect of the buffering parameter `b` — Tile-D vs Tile-D-b.
+
+use mpn_bench::harness::buffering_suite;
+use mpn_bench::params::{Scale, BUFFER_SIZES, DEFAULT_GROUP_SIZE};
+use mpn_bench::{build_poi_tree, build_workload, print_series, run_cell, TrajectoryKind};
+use mpn_core::Objective;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("fig19: scale = {}", scale.name());
+    for kind in TrajectoryKind::all() {
+        let tree = build_poi_tree(scale, 1.0, 42);
+        let workload = build_workload(kind, scale, DEFAULT_GROUP_SIZE, 1.0, 700);
+        let mut rows = Vec::new();
+        for &b in &BUFFER_SIZES {
+            for spec in buffering_suite(b) {
+                let summary = run_cell(&tree, &workload, Objective::Sum, spec.method);
+                rows.push((format!("{b}"), spec.label, summary));
+            }
+        }
+        print_series(
+            &format!("Figure 19 ({}) — Sum-MPN, vary buffering parameter b", kind.name()),
+            "b",
+            &rows,
+        );
+    }
+}

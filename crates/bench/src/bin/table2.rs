@@ -1,0 +1,5 @@
+//! Table 2: the experiment parameter grid (defaults and ranges).
+
+fn main() {
+    mpn_bench::params::print_table2();
+}

@@ -1,0 +1,144 @@
+//! Data-set and workload construction shared by every figure binary.
+
+use mpn_geom::Point;
+use mpn_index::RTree;
+use mpn_mobility::network::{NetworkConfig, RoadNetwork};
+use mpn_mobility::poi::{clustered_pois, subsample, PoiConfig};
+use mpn_mobility::waypoint::{taxi_trajectory, TaxiConfig};
+use mpn_mobility::{partition_into_groups, GroupWorkload, Trajectory, DEFAULT_DOMAIN, DEFAULT_SPEED_LIMIT};
+
+use crate::params::Scale;
+
+/// Which trajectory substitute a workload uses (Section 7.1's two trajectory sets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrajectoryKind {
+    /// Taxi-like hotspot trajectories — the GeoLife substitute.
+    Geolife,
+    /// Network-constrained trajectories — the Oldenburg (Brinkhoff) substitute.
+    Oldenburg,
+}
+
+impl TrajectoryKind {
+    /// Short label used in CSV headers.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TrajectoryKind::Geolife => "geolife",
+            TrajectoryKind::Oldenburg => "oldenburg",
+        }
+    }
+
+    /// Both trajectory kinds, in the order the figures present them.
+    #[must_use]
+    pub fn all() -> [TrajectoryKind; 2] {
+        [TrajectoryKind::Geolife, TrajectoryKind::Oldenburg]
+    }
+}
+
+/// Builds the POI R-tree for a scale, keeping `fraction` of the full data set
+/// (the "vary data size n" axis).
+#[must_use]
+pub fn build_poi_tree(scale: Scale, fraction: f64, seed: u64) -> RTree {
+    let config = PoiConfig { count: scale.poi_count(), domain: DEFAULT_DOMAIN, ..PoiConfig::default() };
+    let pois: Vec<Point> = clustered_pois(&config, seed);
+    let kept = subsample(&pois, fraction, seed ^ 0x5eed);
+    RTree::bulk_load(&kept)
+}
+
+/// Builds a multi-group workload of the given kind.
+///
+/// `speed_fraction` applies the speed-scaling procedure of Section 7.2 (1.0 = the speed
+/// limit `V`).
+#[must_use]
+pub fn build_workload(
+    kind: TrajectoryKind,
+    scale: Scale,
+    group_size: usize,
+    speed_fraction: f64,
+    seed: u64,
+) -> GroupWorkload {
+    let total = scale.groups() * group_size;
+    let timestamps = scale.timestamps();
+    let trajectories: Vec<Trajectory> = match kind {
+        TrajectoryKind::Geolife => {
+            let config = TaxiConfig {
+                domain: DEFAULT_DOMAIN,
+                speed_limit: DEFAULT_SPEED_LIMIT,
+                timestamps,
+                ..TaxiConfig::default()
+            };
+            (0..total)
+                .map(|i| taxi_trajectory(&config, seed.wrapping_add(i as u64)))
+                .collect()
+        }
+        TrajectoryKind::Oldenburg => {
+            let config = NetworkConfig {
+                domain: DEFAULT_DOMAIN,
+                speed_limit: DEFAULT_SPEED_LIMIT,
+                timestamps,
+                ..NetworkConfig::default()
+            };
+            let network = RoadNetwork::generate(&config, seed);
+            (0..total)
+                .map(|i| network.trajectory(seed.wrapping_add(1000 + i as u64), i % config.speed_classes))
+                .collect()
+        }
+    };
+    let workload = partition_into_groups(trajectories, group_size);
+    if (speed_fraction - 1.0).abs() < 1e-12 {
+        workload
+    } else {
+        workload.scale_speed(speed_fraction, timestamps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poi_tree_respects_the_fraction() {
+        let full = build_poi_tree(Scale::Quick, 1.0, 1);
+        let half = build_poi_tree(Scale::Quick, 0.5, 1);
+        assert_eq!(full.len(), Scale::Quick.poi_count());
+        assert_eq!(half.len(), Scale::Quick.poi_count() / 2);
+    }
+
+    #[test]
+    fn workloads_have_the_requested_shape() {
+        for kind in TrajectoryKind::all() {
+            let w = build_workload(kind, Scale::Quick, 3, 1.0, 7);
+            assert_eq!(w.group_count(), Scale::Quick.groups());
+            for g in w.iter() {
+                assert_eq!(g.len(), 3);
+                for t in g {
+                    assert_eq!(t.len(), Scale::Quick.timestamps());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn speed_scaling_produces_slower_users() {
+        let full = build_workload(TrajectoryKind::Geolife, Scale::Quick, 2, 1.0, 9);
+        let slow = build_workload(TrajectoryKind::Geolife, Scale::Quick, 2, 0.25, 9);
+        let mean = |w: &GroupWorkload| {
+            let mut total = 0.0;
+            let mut n = 0;
+            for g in w.iter() {
+                for t in g {
+                    total += t.mean_step();
+                    n += 1;
+                }
+            }
+            total / f64::from(n)
+        };
+        assert!(mean(&slow) < mean(&full) * 0.5);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(TrajectoryKind::Geolife.name(), "geolife");
+        assert_eq!(TrajectoryKind::Oldenburg.name(), "oldenburg");
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared harness: the method suite of the experiments and CSV series printing.
+
+use mpn_core::{Method, Objective};
+use mpn_index::RTree;
+use mpn_mobility::GroupWorkload;
+use mpn_sim::{run_workload, MonitorConfig, WorkloadSummary};
+
+use crate::params::{DEFAULT_BUFFER, DEFAULT_THETA};
+
+/// A named safe-region method, as it appears in a figure legend.
+#[derive(Debug, Clone, Copy)]
+pub struct MethodSpec {
+    /// Legend label (`Circle`, `Tile`, `Tile-D`, `Tile-D-b`).
+    pub label: &'static str,
+    /// The method configuration.
+    pub method: Method,
+}
+
+/// The method suite used by the scalability figures (Fig. 13–15, 17–18): Circle, Tile, Tile-D.
+#[must_use]
+pub fn method_suite() -> Vec<MethodSpec> {
+    vec![
+        MethodSpec { label: "Circle", method: Method::circle() },
+        MethodSpec { label: "Tile", method: Method::tile() },
+        MethodSpec { label: "Tile-D", method: Method::tile_directed(DEFAULT_THETA) },
+    ]
+}
+
+/// The method pair used by the buffering figures (Fig. 16, 19): Tile-D vs Tile-D-b.
+#[must_use]
+pub fn buffering_suite(b: usize) -> Vec<MethodSpec> {
+    vec![
+        MethodSpec { label: "Tile-D", method: Method::tile_directed(DEFAULT_THETA) },
+        MethodSpec {
+            label: "Tile-D-b",
+            method: Method::tile_directed_buffered(DEFAULT_THETA, b),
+        },
+    ]
+}
+
+/// The default buffered method (`b = 100`).
+#[must_use]
+pub fn default_buffered_method() -> Method {
+    Method::tile_directed_buffered(DEFAULT_THETA, DEFAULT_BUFFER)
+}
+
+/// Runs one (method, workload) cell and returns its summary.
+#[must_use]
+pub fn run_cell(
+    tree: &RTree,
+    workload: &GroupWorkload,
+    objective: Objective,
+    method: Method,
+) -> WorkloadSummary {
+    run_workload(tree, workload, &MonitorConfig::new(objective, method))
+}
+
+/// Prints one CSV series: a header followed by one row per x-value and method.
+///
+/// `rows` holds `(x_label, method_label, summary)` triples in print order.
+pub fn print_series(figure: &str, x_name: &str, rows: &[(String, &'static str, WorkloadSummary)]) {
+    println!("# {figure}");
+    println!("{x_name},method,update_frequency,packets_per_timestamp,mean_time_us,updates_per_group");
+    for (x, label, summary) in rows {
+        println!(
+            "{x},{label},{:.6},{:.4},{:.1},{:.1}",
+            summary.update_frequency,
+            summary.packets_per_timestamp,
+            summary.mean_compute_time.as_secs_f64() * 1e6,
+            summary.updates_per_group,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_the_expected_members() {
+        let suite = method_suite();
+        assert_eq!(suite.len(), 3);
+        assert_eq!(suite[0].label, "Circle");
+        assert_eq!(suite[1].method.name(), "Tile");
+        assert_eq!(suite[2].method.name(), "Tile-D");
+        let buf = buffering_suite(50);
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf[1].method.name(), "Tile-D-b");
+        assert_eq!(default_buffered_method().name(), "Tile-D-b");
+    }
+}

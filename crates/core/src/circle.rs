@@ -1,0 +1,188 @@
+//! Circular safe regions: the Circle-MSR algorithm (Section 4.2, Algorithm 1).
+//!
+//! Every user receives a circle centred at her current location, all with the same radius.
+//! The maximal radius keeping the group valid is derived from the best and second-best
+//! meeting points: Theorem 1 for the MAX objective, Theorem 5 for the SUM objective.
+
+use mpn_geom::{Circle, Point};
+use mpn_index::{GnnNeighbor, GnnSearch, QueryStats, RTree};
+
+use crate::Objective;
+
+/// Result of Circle-MSR: the optimum, the runner-up and the common radius.
+#[derive(Debug, Clone)]
+pub struct CircleMsr {
+    /// The optimal meeting point `pᵒ` (top-1 GNN).
+    pub optimal: GnnNeighbor,
+    /// The second-best meeting point, used to derive the radius; `None` when the data set has
+    /// a single POI (the radius is then only limited by `radius_cap`).
+    pub runner_up: Option<GnnNeighbor>,
+    /// The maximal common radius `r_max`.
+    pub radius: f64,
+    /// One circular safe region per user, centred at the user's location.
+    pub regions: Vec<Circle>,
+    /// R-tree traversal statistics of the underlying GNN query.
+    pub stats: QueryStats,
+}
+
+/// Upper bound applied to the circle radius when the POI set cannot bound it
+/// (single-POI data sets).  Chosen to comfortably exceed any workload domain used in the
+/// experiments while staying far from floating-point overflow.
+pub const DEFAULT_RADIUS_CAP: f64 = 1.0e9;
+
+/// Maximal common radius for circular safe regions.
+///
+/// * MAX objective (Theorem 1): `r = (‖p₂, U‖max − ‖pᵒ, U‖max) / 2`.
+/// * SUM objective (Theorem 5): `r = (‖p₂, U‖sum − ‖pᵒ, U‖sum) / (2m)`.
+#[must_use]
+pub fn maximal_circle_radius(
+    objective: Objective,
+    best_dist: f64,
+    second_dist: f64,
+    group_size: usize,
+) -> f64 {
+    let gap = (second_dist - best_dist).max(0.0);
+    match objective {
+        Objective::Max => gap / 2.0,
+        Objective::Sum => gap / (2.0 * group_size as f64),
+    }
+}
+
+/// Runs Circle-MSR (Algorithm 1) over the POI tree for the given user group.
+///
+/// # Panics
+/// Panics when the tree is empty or the user group is empty — there is no meeting point to
+/// monitor in either case.
+#[must_use]
+pub fn circle_msr(
+    tree: &RTree,
+    users: &[Point],
+    objective: Objective,
+    radius_cap: f64,
+) -> CircleMsr {
+    assert!(!tree.is_empty(), "Circle-MSR requires a non-empty POI set");
+    assert!(!users.is_empty(), "Circle-MSR requires at least one user");
+
+    let (top2, stats) = GnnSearch::new(tree, users, objective.aggregate()).top_k(2);
+    let optimal = top2[0];
+    let runner_up = top2.get(1).copied();
+    let radius = runner_up
+        .map_or(radius_cap, |second| {
+            maximal_circle_radius(objective, optimal.dist, second.dist, users.len())
+        })
+        .min(radius_cap);
+
+    let regions = users.iter().map(|u| Circle::new(*u, radius)).collect();
+    CircleMsr { optimal, runner_up, radius, regions, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpn_geom::{max_dist_to_set, sum_dist_to_set, DistanceBounds};
+
+    fn small_world() -> (RTree, Vec<Point>) {
+        let pois = vec![
+            Point::new(2.0, 2.0),
+            Point::new(8.0, 3.0),
+            Point::new(5.0, 9.0),
+            Point::new(-4.0, 1.0),
+        ];
+        let users = vec![Point::new(1.0, 1.0), Point::new(3.0, 2.0), Point::new(2.0, 4.0)];
+        (RTree::bulk_load(&pois), users)
+    }
+
+    #[test]
+    fn radius_formulas_match_theorems() {
+        assert_eq!(maximal_circle_radius(Objective::Max, 4.0, 10.0, 3), 3.0);
+        assert_eq!(maximal_circle_radius(Objective::Sum, 4.0, 10.0, 3), 1.0);
+        // A tie between best and runner-up gives a zero radius, never a negative one.
+        assert_eq!(maximal_circle_radius(Objective::Max, 5.0, 5.0, 2), 0.0);
+        assert_eq!(maximal_circle_radius(Objective::Max, 5.0, 4.0, 2), 0.0);
+    }
+
+    #[test]
+    fn circle_msr_picks_the_max_gnn_and_centres_circles_on_users() {
+        let (tree, users) = small_world();
+        let out = circle_msr(&tree, &users, Objective::Max, DEFAULT_RADIUS_CAP);
+        assert_eq!(out.optimal.entry.id, 0, "(2,2) minimises the max distance");
+        assert_eq!(out.regions.len(), users.len());
+        for (circle, user) in out.regions.iter().zip(&users) {
+            assert_eq!(circle.center, *user);
+            assert!((circle.radius - out.radius).abs() < 1e-12);
+        }
+        assert!(out.radius > 0.0);
+    }
+
+    #[test]
+    fn circle_msr_radius_matches_manual_computation() {
+        let (tree, users) = small_world();
+        for objective in [Objective::Max, Objective::Sum] {
+            let out = circle_msr(&tree, &users, objective, DEFAULT_RADIUS_CAP);
+            let agg = |p: Point| match objective {
+                Objective::Max => max_dist_to_set(p, &users),
+                Objective::Sum => sum_dist_to_set(p, &users),
+            };
+            let mut dists: Vec<f64> = tree.iter().map(|e| agg(e.location)).collect();
+            dists.sort_by(f64::total_cmp);
+            let expected = maximal_circle_radius(objective, dists[0], dists[1], users.len());
+            assert!((out.radius - expected).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn circle_regions_are_valid_safe_regions() {
+        // Sample locations inside the circles and confirm the optimum never changes.
+        let (tree, users) = small_world();
+        for objective in [Objective::Max, Objective::Sum] {
+            let out = circle_msr(&tree, &users, objective, DEFAULT_RADIUS_CAP);
+            let pois: Vec<Point> = tree.iter().map(|e| e.location).collect();
+            // Deterministic sampling on a small grid of offsets inside each circle.
+            let offsets = [-0.99, -0.5, 0.0, 0.5, 0.99];
+            for &ox in &offsets {
+                for &oy in &offsets {
+                    if ox * ox + oy * oy > 1.0 {
+                        continue;
+                    }
+                    let moved: Vec<Point> = out
+                        .regions
+                        .iter()
+                        .map(|c| Point::new(c.center.x + ox * c.radius, c.center.y + oy * c.radius))
+                        .collect();
+                    for c in &out.regions {
+                        assert!(c.contains(Point::new(
+                            c.center.x + ox * c.radius,
+                            c.center.y + oy * c.radius
+                        )));
+                    }
+                    let agg = |p: Point| objective.aggregate().point_dist(p, &moved);
+                    let best = pois
+                        .iter()
+                        .map(|p| agg(*p))
+                        .fold(f64::INFINITY, f64::min);
+                    let current = agg(out.optimal.entry.location);
+                    assert!(
+                        current <= best + 1e-9,
+                        "{objective:?}: optimum changed after moving inside circles"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_poi_uses_the_radius_cap() {
+        let tree = RTree::bulk_load(&[Point::new(0.0, 0.0)]);
+        let users = vec![Point::new(1.0, 1.0)];
+        let out = circle_msr(&tree, &users, Objective::Max, 123.0);
+        assert!(out.runner_up.is_none());
+        assert_eq!(out.radius, 123.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty POI set")]
+    fn empty_tree_panics() {
+        let tree = RTree::bulk_load(&[]);
+        let _ = circle_msr(&tree, &[Point::ORIGIN], Objective::Max, 1.0);
+    }
+}

@@ -1,0 +1,596 @@
+//! Tile-based safe regions: the Tile-MSR algorithm (Section 5.2, Algorithm 3) together with
+//! the divide-and-conquer verification (Algorithm 2), index pruning (Theorem 3 / Theorem 6)
+//! and the buffering optimisation (Section 5.4, Algorithm 5).
+
+use mpn_geom::{DistanceBounds, Point, Square};
+use mpn_index::{GnnNeighbor, PoiEntry, RTree};
+
+use crate::buffer::BufferSet;
+use crate::circle::{circle_msr, DEFAULT_RADIUS_CAP};
+use crate::ordering::{TileOrdering, TileStream};
+use crate::region::{TileCell, TileFrame, TileRegion};
+use crate::tile_verify::{GtVerifier, ItVerifier, SumVerifier, TileVerifier, VerifierKind};
+use crate::{ComputeStats, Objective};
+
+/// Configuration of Tile-MSR.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileMsrConfig {
+    /// Tile limit `α`: the maximum number of round-robin passes over the users (Algorithm 3).
+    pub alpha: usize,
+    /// Split level `L`: how many quad subdivisions Divide-Verify may apply (Algorithm 2).
+    pub split_level: u32,
+    /// Tile ordering policy (undirected or directed, Section 5.2).
+    pub ordering: TileOrdering,
+    /// Verification strategy for the MAX objective (IT-Verify or GT-Verify, Section 5.3).
+    /// The SUM objective always uses the hyperbola-based verifier of Algorithm 6.
+    pub verifier: VerifierKind,
+    /// Whether to prune candidate points with the R-tree (Theorem 3 / Theorem 6).
+    /// When disabled every POI except `pᵒ` is verified — the unoptimised baseline.
+    pub index_pruning: bool,
+    /// Buffering parameter `b` of Section 5.4 (`None` disables buffering).
+    pub buffering: Option<usize>,
+    /// Upper bound on the circular radius used to seed the tile size (see Circle-MSR).
+    pub radius_cap: f64,
+}
+
+impl Default for TileMsrConfig {
+    fn default() -> Self {
+        // Defaults follow Table 2 and the accompanying text: α = 30, L = 2, b = 100 when
+        // buffering is enabled.
+        Self {
+            alpha: 30,
+            split_level: 2,
+            ordering: TileOrdering::Undirected,
+            verifier: VerifierKind::Gt,
+            index_pruning: true,
+            buffering: None,
+            radius_cap: DEFAULT_RADIUS_CAP,
+        }
+    }
+}
+
+impl TileMsrConfig {
+    /// The paper's `Tile` configuration: undirected ordering, GT-Verify, index pruning.
+    #[must_use]
+    pub fn tile() -> Self {
+        Self::default()
+    }
+
+    /// The paper's `Tile-D` configuration: directed ordering with deviation `theta`.
+    #[must_use]
+    pub fn tile_directed(theta: f64) -> Self {
+        Self { ordering: TileOrdering::Directed { theta }, ..Self::default() }
+    }
+
+    /// The paper's `Tile-D-b` configuration: directed ordering plus buffering with parameter `b`.
+    #[must_use]
+    pub fn tile_directed_buffered(theta: f64, b: usize) -> Self {
+        Self {
+            ordering: TileOrdering::Directed { theta },
+            buffering: Some(b),
+            ..Self::default()
+        }
+    }
+}
+
+/// Output of Tile-MSR.
+#[derive(Debug, Clone)]
+pub struct TileMsr {
+    /// The optimal meeting point `pᵒ`.
+    pub optimal: GnnNeighbor,
+    /// The runner-up meeting point (drives the seed tile size), when it exists.
+    pub runner_up: Option<GnnNeighbor>,
+    /// Seed radius from Circle-MSR (`r_max`); the base tile side is `√2 · r_max`.
+    pub radius: f64,
+    /// One tile region per user.
+    pub regions: Vec<TileRegion>,
+    /// Work counters accumulated while computing the regions.
+    pub stats: ComputeStats,
+}
+
+/// Runs Tile-MSR (Algorithm 3) for the given group.
+///
+/// `headings[i]`, when provided, is user `i`'s predicted travel direction used by the directed
+/// ordering; pass `None` (or `Some(None)` per user) when headings are unknown.
+///
+/// # Panics
+/// Panics when the tree or the user group is empty.
+#[must_use]
+pub fn tile_msr(
+    tree: &RTree,
+    users: &[Point],
+    objective: Objective,
+    config: &TileMsrConfig,
+    headings: Option<&[Option<f64>]>,
+) -> TileMsr {
+    assert!(!tree.is_empty(), "Tile-MSR requires a non-empty POI set");
+    assert!(!users.is_empty(), "Tile-MSR requires at least one user");
+    if let Some(h) = headings {
+        assert_eq!(h.len(), users.len(), "one heading slot per user");
+    }
+
+    let mut stats = ComputeStats::default();
+
+    // Lines 1-2: seed with Circle-MSR; the initial tile is the maximal square inside the circle.
+    let seed = circle_msr(tree, users, objective, config.radius_cap);
+    stats.gnn.absorb(seed.stats);
+    stats.rtree_queries += 1;
+    let delta = std::f64::consts::SQRT_2 * seed.radius;
+
+    // Lines 3-4: one seed tile per user.
+    let mut regions: Vec<TileRegion> = users
+        .iter()
+        .map(|u| TileRegion::with_seed(TileFrame::centered_at(*u, delta)))
+        .collect();
+
+    // Degenerate seed (the two best meeting points are equidistant): the safe regions collapse
+    // to the users' current locations and no browsing can grow them.
+    if delta <= f64::EPSILON {
+        return TileMsr {
+            optimal: seed.optimal,
+            runner_up: seed.runner_up,
+            radius: seed.radius,
+            regions,
+            stats,
+        };
+    }
+
+    let p_opt = seed.optimal.entry;
+
+    // Optional buffering: one extra GNN query replaces all later candidate retrievals.
+    let buffer = config.buffering.map(|b| {
+        let buf = BufferSet::build(tree, users, objective, b);
+        stats.gnn.absorb(buf.stats);
+        stats.rtree_queries += 1;
+        buf
+    });
+
+    let mut verifier: Box<dyn TileVerifier> = match (objective, config.verifier) {
+        (Objective::Sum, _) => Box::new(SumVerifier::new(users.len())),
+        (Objective::Max, VerifierKind::Gt) => Box::<GtVerifier>::default(),
+        (Objective::Max, VerifierKind::It) => Box::<ItVerifier>::default(),
+    };
+
+    let mut streams: Vec<TileStream> = users
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let heading = headings.and_then(|h| h[i]);
+            TileStream::new(config.ordering, heading, (config.alpha + 2) as i32)
+        })
+        .collect();
+
+    // Lines 5-10: round-robin tile browsing bounded by α.
+    for _round in 0..config.alpha {
+        #[allow(clippy::needless_range_loop)] // the index addresses streams, regions and users
+        for i in 0..users.len() {
+            while let Some(cell) = streams[i].next_cell() {
+                let accepted = try_tile(
+                    tree,
+                    users,
+                    &mut regions,
+                    i,
+                    cell,
+                    p_opt,
+                    objective,
+                    config,
+                    buffer.as_ref(),
+                    verifier.as_mut(),
+                    &mut stats,
+                );
+                if accepted {
+                    streams[i].mark_accepted();
+                    break;
+                }
+            }
+        }
+    }
+
+    TileMsr {
+        optimal: seed.optimal,
+        runner_up: seed.runner_up,
+        radius: seed.radius,
+        regions,
+        stats,
+    }
+}
+
+/// Attempts one candidate tile for one user: gathers candidates (via the buffer or the R-tree)
+/// and runs Divide-Verify / Buffer-Divide-Verify on it.
+#[allow(clippy::too_many_arguments)]
+fn try_tile(
+    tree: &RTree,
+    users: &[Point],
+    regions: &mut [TileRegion],
+    user: usize,
+    cell: TileCell,
+    p_opt: PoiEntry,
+    objective: Objective,
+    config: &TileMsrConfig,
+    buffer: Option<&BufferSet>,
+    verifier: &mut dyn TileVerifier,
+    stats: &mut ComputeStats,
+) -> bool {
+    if let Some(buf) = buffer {
+        buffered_divide_verify(
+            users,
+            regions,
+            user,
+            cell,
+            p_opt,
+            buf,
+            config.split_level,
+            verifier,
+            stats,
+        )
+    } else {
+        let square = regions[user].frame().square(cell);
+        let candidates =
+            gather_candidates(tree, users, regions, user, &square, p_opt, objective, config, stats);
+        divide_verify(
+            regions,
+            user,
+            cell,
+            p_opt.location,
+            &candidates,
+            config.split_level,
+            verifier,
+            stats,
+        )
+    }
+}
+
+/// Divide-Verify (Algorithm 2): verify the tile against every candidate; on failure subdivide
+/// into four sub-tiles and recurse up to `level` times.  Returns `true` when the tile or at
+/// least one of its descendants was added to the user's region.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn divide_verify(
+    regions: &mut [TileRegion],
+    user: usize,
+    cell: TileCell,
+    p_opt: Point,
+    candidates: &[PoiEntry],
+    level: u32,
+    verifier: &mut dyn TileVerifier,
+    stats: &mut ComputeStats,
+) -> bool {
+    let square = regions[user].frame().square(cell);
+    stats.verify_calls += 1;
+    let ok = candidates.iter().all(|c| {
+        stats.candidates_checked += 1;
+        verifier.verify(regions, user, &square, c.location, c.id, p_opt)
+    });
+    if ok {
+        regions[user].push(cell);
+        stats.tiles_accepted += 1;
+        return true;
+    }
+    if level == 0 {
+        stats.tiles_rejected += 1;
+        return false;
+    }
+    let mut flag = false;
+    for child in cell.children() {
+        if divide_verify(regions, user, child, p_opt, candidates, level - 1, verifier, stats) {
+            flag = true;
+        }
+    }
+    flag
+}
+
+/// Buffer-Divide-Verify (Algorithm 5): pick the smallest buffered slot covering the current
+/// region extent, verify only against that candidate prefix, and subdivide on failure.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn buffered_divide_verify(
+    users: &[Point],
+    regions: &mut [TileRegion],
+    user: usize,
+    cell: TileCell,
+    p_opt: PoiEntry,
+    buffer: &BufferSet,
+    level: u32,
+    verifier: &mut dyn TileVerifier,
+    stats: &mut ComputeStats,
+) -> bool {
+    let square = regions[user].frame().square(cell);
+    // Line 1: the distance any buffered location instance can stray from the current user
+    // locations — the new tile for this user, the existing regions for the others.
+    let mut dist = square.max_dist(users[user]);
+    for (j, region) in regions.iter().enumerate() {
+        if j != user && !region.is_empty() {
+            dist = dist.max(region.max_dist(users[j]));
+        }
+    }
+    // Lines 2-4: find the smallest admissible slot; reject outright when none covers `dist`.
+    let Some(slot) = buffer.slot_for(dist) else {
+        stats.tiles_rejected += 1;
+        return false;
+    };
+    let candidates = buffer.candidates(slot);
+
+    stats.verify_calls += 1;
+    let ok = candidates.iter().all(|c| {
+        stats.candidates_checked += 1;
+        verifier.verify(regions, user, &square, c.location, c.id, p_opt.location)
+    });
+    if ok {
+        regions[user].push(cell);
+        stats.tiles_accepted += 1;
+        return true;
+    }
+    if level == 0 {
+        stats.tiles_rejected += 1;
+        return false;
+    }
+    let mut flag = false;
+    for child in cell.children() {
+        if buffered_divide_verify(users, regions, user, child, p_opt, buffer, level - 1, verifier, stats)
+        {
+            flag = true;
+        }
+    }
+    flag
+}
+
+/// Retrieves the candidate points a tile must be verified against.
+///
+/// With index pruning enabled this applies Theorem 3 (MAX) or Theorem 6 (SUM) on the R-tree,
+/// using region extents that already account for the tile under test so the candidate set is
+/// conservative; otherwise every POI except `pᵒ` is returned.
+#[allow(clippy::too_many_arguments)]
+fn gather_candidates(
+    tree: &RTree,
+    users: &[Point],
+    regions: &[TileRegion],
+    user: usize,
+    tile: &Square,
+    p_opt: PoiEntry,
+    objective: Objective,
+    config: &TileMsrConfig,
+    stats: &mut ComputeStats,
+) -> Vec<PoiEntry> {
+    if !config.index_pruning {
+        return tree.iter().filter(|e| e.id != p_opt.id).collect();
+    }
+    stats.rtree_queries += 1;
+
+    // r†ⱼ: how far user j may stray from her current location; for the user under test this
+    // must include the new tile.
+    let reach: Vec<f64> = users
+        .iter()
+        .enumerate()
+        .map(|(j, u)| {
+            let mut r = if regions[j].is_empty() { 0.0 } else { regions[j].max_dist(*u) };
+            if j == user {
+                r = r.max(tile.max_dist(*u));
+            }
+            r
+        })
+        .collect();
+
+    let (candidates, qstats) = match objective {
+        Objective::Max => {
+            // ‖pᵒ, R‖⊤ including the tile under test.
+            let mut dominant = tile.max_dist(p_opt.location);
+            for (j, region) in regions.iter().enumerate() {
+                if !region.is_empty() {
+                    let d = region.max_dist(p_opt.location);
+                    if j != user || d > dominant {
+                        dominant = dominant.max(d);
+                    }
+                }
+            }
+            let radii: Vec<f64> = reach.iter().map(|r| dominant + r).collect();
+            tree.candidates_within_user_radii(users, &radii)
+        }
+        Objective::Sum => {
+            let base: f64 = users.iter().map(|u| p_opt.location.dist(*u)).sum();
+            let threshold = base + 2.0 * reach.iter().sum::<f64>();
+            tree.candidates_within_sum_radius(users, threshold)
+        }
+    };
+    stats.candidate_retrieval.absorb(qstats);
+    candidates.into_iter().filter(|e| e.id != p_opt.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpn_geom::max_dist_to_set;
+
+    fn grid_pois(n_side: usize, spacing: f64) -> Vec<Point> {
+        (0..n_side * n_side)
+            .map(|i| Point::new((i % n_side) as f64 * spacing, (i / n_side) as f64 * spacing))
+            .collect()
+    }
+
+    fn world() -> (RTree, Vec<Point>) {
+        let pois = grid_pois(8, 5.0);
+        let users = vec![Point::new(11.0, 12.0), Point::new(14.0, 16.0), Point::new(9.0, 17.0)];
+        (RTree::bulk_load(&pois), users)
+    }
+
+    #[test]
+    fn tile_msr_regions_contain_the_users_and_the_seed_tiles() {
+        let (tree, users) = world();
+        let out = tile_msr(&tree, &users, Objective::Max, &TileMsrConfig::default(), None);
+        assert_eq!(out.regions.len(), users.len());
+        for (region, user) in out.regions.iter().zip(&users) {
+            assert!(!region.is_empty());
+            assert!(region.contains(*user), "the seed tile always covers the user");
+        }
+        assert!(out.radius > 0.0);
+    }
+
+    #[test]
+    fn tile_regions_are_at_least_as_large_as_the_inscribed_circle_square() {
+        let (tree, users) = world();
+        let out = tile_msr(&tree, &users, Objective::Max, &TileMsrConfig::default(), None);
+        let seed_area = (std::f64::consts::SQRT_2 * out.radius).powi(2);
+        for region in &out.regions {
+            assert!(region.area() + 1e-9 >= seed_area);
+        }
+        // With α = 30 rounds at least one user should have grown past the seed tile.
+        let grown = out.regions.iter().any(|r| r.len() > 1);
+        assert!(grown, "expected tile regions to grow beyond the seed");
+    }
+
+    /// Core invariant (Definition 3): for any instance of locations inside the safe regions,
+    /// the optimal meeting point does not change.
+    fn assert_safe_region_group_valid(
+        tree: &RTree,
+        users: &[Point],
+        objective: Objective,
+        out: &TileMsr,
+    ) {
+        let pois: Vec<Point> = tree.iter().map(|e| e.location).collect();
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut rand01 = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..200 {
+            let instance: Vec<Point> = out
+                .regions
+                .iter()
+                .map(|region| {
+                    // Pick a random point in a random tile of the region.
+                    let tiles = region.squares();
+                    let sq = tiles[(rand01() * tiles.len() as f64) as usize % tiles.len()];
+                    let r = sq.to_rect();
+                    Point::new(
+                        r.lo.x + r.width() * rand01(),
+                        r.lo.y + r.height() * rand01(),
+                    )
+                })
+                .collect();
+            for (region, l) in out.regions.iter().zip(&instance) {
+                assert!(region.contains(*l));
+            }
+            let agg = |p: Point| objective.aggregate().point_dist(p, &instance);
+            let best = pois.iter().map(|p| agg(*p)).fold(f64::INFINITY, f64::min);
+            let current = agg(out.optimal.entry.location);
+            assert!(
+                current <= best + 1e-6,
+                "{objective:?}: optimum changed for locations {instance:?} (current {current}, best {best})"
+            );
+        }
+        let _ = users;
+    }
+
+    #[test]
+    fn max_tile_regions_never_invalidate_the_optimum() {
+        let (tree, users) = world();
+        for config in [
+            TileMsrConfig::default(),
+            TileMsrConfig { verifier: VerifierKind::It, alpha: 6, ..TileMsrConfig::default() },
+            TileMsrConfig { index_pruning: false, alpha: 10, ..TileMsrConfig::default() },
+            TileMsrConfig::tile_directed(std::f64::consts::FRAC_PI_4),
+            TileMsrConfig::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 20),
+        ] {
+            let out = tile_msr(&tree, &users, Objective::Max, &config, None);
+            assert_safe_region_group_valid(&tree, &users, Objective::Max, &out);
+        }
+    }
+
+    #[test]
+    fn sum_tile_regions_never_invalidate_the_optimum() {
+        let (tree, users) = world();
+        for config in [
+            TileMsrConfig::default(),
+            TileMsrConfig::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 20),
+        ] {
+            let out = tile_msr(&tree, &users, Objective::Sum, &config, None);
+            assert_safe_region_group_valid(&tree, &users, Objective::Sum, &out);
+        }
+    }
+
+    #[test]
+    fn optimal_point_matches_brute_force() {
+        let (tree, users) = world();
+        let out = tile_msr(&tree, &users, Objective::Max, &TileMsrConfig::default(), None);
+        let brute = tree
+            .iter()
+            .min_by(|a, b| {
+                max_dist_to_set(a.location, &users).total_cmp(&max_dist_to_set(b.location, &users))
+            })
+            .unwrap();
+        assert_eq!(out.optimal.entry.id, brute.id);
+    }
+
+    #[test]
+    fn buffering_reduces_rtree_queries() {
+        let (tree, users) = world();
+        let plain = tile_msr(&tree, &users, Objective::Max, &TileMsrConfig::default(), None);
+        let buffered = tile_msr(
+            &tree,
+            &users,
+            Objective::Max,
+            &TileMsrConfig { buffering: Some(50), ..TileMsrConfig::default() },
+            None,
+        );
+        assert!(
+            buffered.stats.rtree_queries < plain.stats.rtree_queries,
+            "buffering must avoid per-tile index accesses ({} vs {})",
+            buffered.stats.rtree_queries,
+            plain.stats.rtree_queries
+        );
+        assert_eq!(buffered.stats.rtree_queries, 2, "circle GNN + buffer GNN only");
+    }
+
+    #[test]
+    fn directed_ordering_respects_headings() {
+        let (tree, users) = world();
+        let headings = vec![Some(0.0), Some(std::f64::consts::FRAC_PI_2), None];
+        let out = tile_msr(
+            &tree,
+            &users,
+            Objective::Max,
+            &TileMsrConfig::tile_directed(std::f64::consts::FRAC_PI_4),
+            Some(&headings),
+        );
+        // User 0 heads east: every non-seed tile must lie in the eastern half-plane.
+        for cell in out.regions[0].cells().iter().filter(|c| !(c.ix == 0 && c.iy == 0)) {
+            // Directed layer-1 cells for heading 0 with θ=π/4 are (1,0),(1,1),(1,-1) and their
+            // outward continuations / subdivisions, all with positive x at level 0 geometry.
+            let sq = out.regions[0].frame().square(*cell);
+            assert!(
+                sq.center.x >= users[0].x - 1e-9,
+                "directed ordering produced a tile behind the user: {cell:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_gap_between_best_meeting_points_degenerates_gracefully() {
+        // Two POIs symmetric about the single user: best and runner-up tie, radius = 0.
+        let tree = RTree::bulk_load(&[Point::new(-1.0, 0.0), Point::new(1.0, 0.0)]);
+        let users = vec![Point::new(0.0, 0.0)];
+        let out = tile_msr(&tree, &users, Objective::Max, &TileMsrConfig::default(), None);
+        assert_eq!(out.radius, 0.0);
+        assert_eq!(out.regions[0].len(), 1);
+        assert!(out.regions[0].squares()[0].side() <= f64::EPSILON);
+    }
+
+    #[test]
+    fn it_and_gt_verifiers_produce_valid_groups_of_similar_size() {
+        let (tree, users) = world();
+        let small = TileMsrConfig { alpha: 8, ..TileMsrConfig::default() };
+        let gt = tile_msr(&tree, &users, Objective::Max, &small, None);
+        let it = tile_msr(
+            &tree,
+            &users,
+            Objective::Max,
+            &TileMsrConfig { verifier: VerifierKind::It, ..small },
+            None,
+        );
+        let gt_area: f64 = gt.regions.iter().map(TileRegion::area).sum();
+        let it_area: f64 = it.regions.iter().map(TileRegion::area).sum();
+        assert!(gt_area > 0.0 && it_area > 0.0);
+        // IT enumerates exact combinations, so it never produces smaller regions than GT by
+        // more than a subdivision artefact; both must stay within a factor of each other.
+        assert!(gt_area <= it_area * 1.5 + 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Line segments and segment/line intersection.
+//!
+//! The SUM-objective tile verification (Algorithm 6) needs the intersections between a tile's
+//! edges and the *focal axis* — the infinite line through the candidate point `p'` and the
+//! current optimum `pᵒ` (Fig. 12 of the paper).
+
+use crate::Point;
+
+/// A directed line segment from `a` to `b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between two points.
+    #[must_use]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Self { a, b }
+    }
+
+    /// Length of the segment.
+    #[must_use]
+    pub fn length(&self) -> f64 {
+        self.a.dist(self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    #[must_use]
+    pub fn point_at(&self, t: f64) -> Point {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Minimum distance from a point to the segment.
+    #[must_use]
+    pub fn dist_to_point(&self, p: Point) -> f64 {
+        let d = self.b - self.a;
+        let len_sq = d.dot(d);
+        if len_sq < 1e-24 {
+            return self.a.dist(p);
+        }
+        let t = ((p - self.a).dot(d) / len_sq).clamp(0.0, 1.0);
+        self.point_at(t).dist(p)
+    }
+
+    /// Intersection of this segment with the *infinite line* through `l0` and `l1`.
+    ///
+    /// Returns `None` when the segment is parallel to the line (including the collinear case,
+    /// where callers should instead treat the segment endpoints as the relevant candidates) or
+    /// when the intersection falls outside the segment.
+    #[must_use]
+    pub fn intersect_line(&self, l0: Point, l1: Point) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = l1 - l0;
+        let denom = r.cross(s);
+        if denom.abs() < 1e-18 {
+            return None;
+        }
+        // Solve a + t·r = l0 + u·s for t; only t must lie in [0, 1].
+        let t = (l0 - self.a).cross(s) / denom;
+        if (-1e-12..=1.0 + 1e-12).contains(&t) {
+            Some(self.point_at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+
+    /// Intersection point of two segments, if they cross (closed endpoints, non-parallel).
+    #[must_use]
+    pub fn intersect_segment(&self, other: &Segment) -> Option<Point> {
+        let r = self.b - self.a;
+        let s = other.b - other.a;
+        let denom = r.cross(s);
+        if denom.abs() < 1e-18 {
+            return None;
+        }
+        let qp = other.a - self.a;
+        let t = qp.cross(s) / denom;
+        let u = qp.cross(r) / denom;
+        let tol = 1e-12;
+        if (-tol..=1.0 + tol).contains(&t) && (-tol..=1.0 + tol).contains(&u) {
+            Some(self.point_at(t.clamp(0.0, 1.0)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_interpolation() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert!((s.length() - 5.0).abs() < 1e-12);
+        assert_eq!(s.point_at(0.0), s.a);
+        assert_eq!(s.point_at(1.0), s.b);
+        assert_eq!(s.point_at(0.5), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!((s.dist_to_point(Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+        // Beyond an endpoint the closest point is the endpoint itself.
+        assert!((s.dist_to_point(Point::new(13.0, 4.0)) - 5.0).abs() < 1e-12);
+        // Degenerate segment behaves as a point.
+        let d = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert!((d.dist_to_point(Point::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_intersection_hits_and_misses() {
+        let edge = Segment::new(Point::new(0.0, 0.0), Point::new(0.0, 10.0));
+        // The focal axis here is the horizontal line y = 3.
+        let hit = edge.intersect_line(Point::new(-5.0, 3.0), Point::new(5.0, 3.0)).unwrap();
+        assert!((hit.y - 3.0).abs() < 1e-12);
+        assert!((hit.x).abs() < 1e-12);
+        // A line crossing outside the segment's parameter range yields no intersection.
+        assert!(edge.intersect_line(Point::new(-5.0, 20.0), Point::new(5.0, 20.0)).is_none());
+        // Parallel line: no intersection reported.
+        assert!(edge.intersect_line(Point::new(1.0, 0.0), Point::new(1.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn segment_intersection() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 4.0));
+        let b = Segment::new(Point::new(0.0, 4.0), Point::new(4.0, 0.0));
+        let p = a.intersect_segment(&b).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-12);
+        assert!((p.y - 2.0).abs() < 1e-12);
+        let c = Segment::new(Point::new(10.0, 10.0), Point::new(11.0, 11.0));
+        assert!(a.intersect_segment(&c).is_none());
+    }
+
+    #[test]
+    fn endpoint_touch_counts_as_intersection() {
+        let a = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let b = Segment::new(Point::new(2.0, 0.0), Point::new(2.0, 5.0));
+        let p = a.intersect_segment(&b).unwrap();
+        assert!((p.x - 2.0).abs() < 1e-9);
+        assert!(p.y.abs() < 1e-9);
+    }
+}

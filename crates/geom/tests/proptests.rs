@@ -1,0 +1,90 @@
+//! Property-based tests for the geometry primitives.
+
+use mpn_geom::{
+    focal_diff, min_focal_diff_over_square, Circle, DistanceBounds, Point, Rect, Square,
+};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn triangle_inequality(a in pt(), b in pt(), c in pt()) {
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+    }
+
+    #[test]
+    fn rect_min_le_max(a in pt(), b in pt(), p in pt()) {
+        let r = Rect::new(a, b);
+        prop_assert!(r.min_dist(p) <= r.max_dist(p) + 1e-9);
+    }
+
+    #[test]
+    fn rect_distance_bounds_contain_distance_to_any_inner_point(
+        a in pt(), b in pt(), p in pt(), tx in 0.0f64..=1.0, ty in 0.0f64..=1.0
+    ) {
+        let r = Rect::new(a, b);
+        let inner = Point::new(r.lo.x + r.width() * tx, r.lo.y + r.height() * ty);
+        let d = p.dist(inner);
+        prop_assert!(d + 1e-9 >= r.min_dist(p));
+        prop_assert!(d <= r.max_dist(p) + 1e-9);
+    }
+
+    #[test]
+    fn circle_bounds_contain_distance_to_any_inner_point(
+        c in pt(), radius in 0.0f64..50.0, p in pt(), ang in 0.0f64..std::f64::consts::TAU, t in 0.0f64..=1.0
+    ) {
+        let circle = Circle::new(c, radius);
+        let inner = Point::new(c.x + radius * t * ang.cos(), c.y + radius * t * ang.sin());
+        let d = p.dist(inner);
+        prop_assert!(d + 1e-9 >= circle.min_dist(p));
+        prop_assert!(d <= circle.max_dist(p) + 1e-9);
+    }
+
+    #[test]
+    fn rect_union_contains_both(a in pt(), b in pt(), c in pt(), d in pt()) {
+        let r1 = Rect::new(a, b);
+        let r2 = Rect::new(c, d);
+        let u = r1.union(r2);
+        prop_assert!(u.contains_rect(&r1));
+        prop_assert!(u.contains_rect(&r2));
+        prop_assert!(u.area() + 1e-9 >= r1.area().max(r2.area()));
+    }
+
+    #[test]
+    fn square_subdivision_partitions_distance_bounds(
+        c in pt(), side in 0.01f64..40.0, p in pt()
+    ) {
+        let s = Square::new(c, side);
+        let kids = s.subdivide();
+        // The minimum (maximum) distance to the parent equals the min (max) over the children.
+        let kid_min = kids.iter().map(|k| k.min_dist(p)).fold(f64::INFINITY, f64::min);
+        let kid_max = kids.iter().map(|k| k.max_dist(p)).fold(0.0f64, f64::max);
+        prop_assert!((kid_min - s.min_dist(p)).abs() < 1e-9);
+        prop_assert!((kid_max - s.max_dist(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn focal_min_is_a_true_lower_bound(
+        pp in pt(), po in pt(), c in pt(), side in 0.01f64..30.0,
+        tx in 0.0f64..=1.0, ty in 0.0f64..=1.0
+    ) {
+        let tile = Square::new(c, side);
+        let r = tile.to_rect();
+        let inner = Point::new(r.lo.x + r.width() * tx, r.lo.y + r.height() * ty);
+        let min = min_focal_diff_over_square(pp, po, &tile);
+        prop_assert!(focal_diff(pp, po, inner) + 1e-7 >= min);
+    }
+
+    #[test]
+    fn focal_min_bounded_by_focus_distance(pp in pt(), po in pt(), c in pt(), side in 0.01f64..30.0) {
+        let tile = Square::new(c, side);
+        let min = min_focal_diff_over_square(pp, po, &tile);
+        prop_assert!(min >= -pp.dist(po) - 1e-9);
+        prop_assert!(min <= pp.dist(po) + 1e-9);
+    }
+}

@@ -1,0 +1,289 @@
+//! Group nearest-neighbour (GNN) search over the R-tree.
+//!
+//! Given a group of user locations `U` and an aggregate function (MAX or SUM), the GNN query
+//! returns the POIs with the smallest aggregate distance to the whole group.  This is the
+//! `FindMaxGNN` / `FindSumGNN` primitive of Papadias et al. (the paper's reference [24]) which
+//! the safe-region algorithms call in Algorithm 1 (top-2 for the circle radius) and in the
+//! buffering optimisation of Section 5.4 (top-(b+1) to bound the candidate set).
+//!
+//! The implementation is a best-first traversal: internal nodes are ranked by a lower bound of
+//! the aggregate distance (the aggregate of per-user minimum distances to the node MBR), which
+//! is admissible for both MAX and SUM, so results are produced incrementally in exact order.
+
+use crate::rtree::{BestFirstHeap, HeapItem, PoiEntry, QueryStats, RTree};
+use mpn_geom::{max_dist_to_set, sum_dist_to_set, DistanceBounds, Point, Rect};
+
+/// The aggregate distance function of the meeting-point objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Aggregate {
+    /// Minimise the maximum user distance (MAX-GNN; the MPN problem, Definition 2).
+    #[default]
+    Max,
+    /// Minimise the total user distance (SUM-GNN; the Sum-MPN variant, Definition 8).
+    Sum,
+}
+
+impl Aggregate {
+    /// Aggregate distance from a point to the user group (`‖p, U‖†` or `‖p, U‖sum`).
+    #[must_use]
+    pub fn point_dist(self, p: Point, users: &[Point]) -> f64 {
+        match self {
+            Aggregate::Max => max_dist_to_set(p, users),
+            Aggregate::Sum => sum_dist_to_set(p, users),
+        }
+    }
+
+    /// Admissible lower bound of the aggregate distance from any point inside `rect` to the
+    /// group: the aggregate of per-user minimum distances to the rectangle.
+    #[must_use]
+    pub fn rect_lower_bound(self, rect: &Rect, users: &[Point]) -> f64 {
+        match self {
+            Aggregate::Max => users
+                .iter()
+                .map(|u| rect.min_dist(*u))
+                .fold(0.0, f64::max),
+            Aggregate::Sum => users.iter().map(|u| rect.min_dist(*u)).sum(),
+        }
+    }
+
+    /// Human-readable name used in experiment output.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Aggregate::Max => "max",
+            Aggregate::Sum => "sum",
+        }
+    }
+}
+
+/// One result of a GNN query: the POI and its aggregate distance to the group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GnnNeighbor {
+    /// The point of interest.
+    pub entry: PoiEntry,
+    /// Aggregate (MAX or SUM) distance from the group to `entry`.
+    pub dist: f64,
+}
+
+/// A group nearest-neighbour search bound to a tree, a user group and an aggregate.
+#[derive(Debug, Clone, Copy)]
+pub struct GnnSearch<'a> {
+    tree: &'a RTree,
+    users: &'a [Point],
+    aggregate: Aggregate,
+}
+
+impl<'a> GnnSearch<'a> {
+    /// Creates a search over `tree` for the group `users` under `aggregate`.
+    ///
+    /// # Panics
+    /// Panics if `users` is empty — a meeting point for nobody is meaningless.
+    #[must_use]
+    pub fn new(tree: &'a RTree, users: &'a [Point], aggregate: Aggregate) -> Self {
+        assert!(!users.is_empty(), "GNN search requires at least one user");
+        Self { tree, users, aggregate }
+    }
+
+    /// The best meeting point (top-1 GNN), if the tree is non-empty.
+    #[must_use]
+    pub fn best(&self) -> Option<GnnNeighbor> {
+        self.top_k(1).0.into_iter().next()
+    }
+
+    /// The `k` best meeting points in increasing aggregate distance, plus traversal statistics.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> (Vec<GnnNeighbor>, QueryStats) {
+        let mut out = Vec::with_capacity(k.min(self.tree.len()));
+        let mut stats = QueryStats::default();
+        if k == 0 || self.tree.is_empty() {
+            return (out, stats);
+        }
+        let mut heap = BestFirstHeap::new();
+        if let Some(root) = self.tree.root() {
+            heap.push_node(self.aggregate.rect_lower_bound(&root.mbr(), self.users), root);
+        }
+        while let Some(item) = heap.pop() {
+            match item {
+                HeapItem::Node(_, node) => {
+                    stats.nodes_visited += 1;
+                    match node {
+                        crate::rtree::Node::Leaf { entries, .. } => {
+                            for e in entries {
+                                stats.points_examined += 1;
+                                heap.push_entry(
+                                    self.aggregate.point_dist(e.location, self.users),
+                                    *e,
+                                );
+                            }
+                        }
+                        crate::rtree::Node::Internal { children, .. } => {
+                            for c in children {
+                                heap.push_node(
+                                    self.aggregate.rect_lower_bound(&c.mbr(), self.users),
+                                    c,
+                                );
+                            }
+                        }
+                    }
+                }
+                HeapItem::Entry(d, e) => {
+                    out.push(GnnNeighbor { entry: e, dist: d });
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+/// Convenience: top-k GNN by brute force, used as a test oracle and by tiny data sets.
+#[must_use]
+pub fn brute_force_gnn(
+    points: &[Point],
+    users: &[Point],
+    aggregate: Aggregate,
+    k: usize,
+) -> Vec<GnnNeighbor> {
+    let mut all: Vec<GnnNeighbor> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| GnnNeighbor {
+            entry: PoiEntry::new(i, *p),
+            dist: aggregate.point_dist(*p, users),
+        })
+        .collect();
+    all.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_points(n: usize) -> Vec<Point> {
+        // Deterministic pseudo-random layout (no external RNG needed for unit tests).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * 100.0, next() * 100.0)).collect()
+    }
+
+    #[test]
+    fn aggregate_point_dist() {
+        let users = [Point::new(0.0, 0.0), Point::new(6.0, 8.0)];
+        let p = Point::new(0.0, 0.0);
+        assert!((Aggregate::Max.point_dist(p, &users) - 10.0).abs() < 1e-12);
+        assert!((Aggregate::Sum.point_dist(p, &users) - 10.0).abs() < 1e-12);
+        let q = Point::new(3.0, 4.0);
+        assert!((Aggregate::Max.point_dist(q, &users) - 5.0).abs() < 1e-12);
+        assert!((Aggregate::Sum.point_dist(q, &users) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rect_lower_bound_is_admissible() {
+        let users = [Point::new(0.0, 0.0), Point::new(20.0, 0.0), Point::new(10.0, 15.0)];
+        let rect = Rect::new(Point::new(8.0, 2.0), Point::new(12.0, 6.0));
+        for agg in [Aggregate::Max, Aggregate::Sum] {
+            let lb = agg.rect_lower_bound(&rect, &users);
+            // Sample points inside the rectangle; none may beat the lower bound.
+            for i in 0..=10 {
+                for j in 0..=10 {
+                    let p = Point::new(
+                        rect.lo.x + rect.width() * f64::from(i) / 10.0,
+                        rect.lo.y + rect.height() * f64::from(j) / 10.0,
+                    );
+                    assert!(agg.point_dist(p, &users) + 1e-9 >= lb);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_gnn_matches_brute_force() {
+        let pts = clustered_points(600);
+        let tree = RTree::bulk_load(&pts);
+        let users = [Point::new(30.0, 40.0), Point::new(50.0, 45.0), Point::new(35.0, 60.0)];
+        let (got, stats) = GnnSearch::new(&tree, &users, Aggregate::Max).top_k(8);
+        let want = brute_force_gnn(&pts, &users, Aggregate::Max, 8);
+        assert_eq!(got.len(), 8);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+        assert!(stats.points_examined <= pts.len());
+    }
+
+    #[test]
+    fn sum_gnn_matches_brute_force() {
+        let pts = clustered_points(600);
+        let tree = RTree::bulk_load(&pts);
+        let users = [Point::new(80.0, 20.0), Point::new(70.0, 35.0)];
+        let (got, _) = GnnSearch::new(&tree, &users, Aggregate::Sum).top_k(5);
+        let want = brute_force_gnn(&pts, &users, Aggregate::Sum, 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.dist).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn results_are_sorted_and_incremental() {
+        let pts = clustered_points(300);
+        let tree = RTree::bulk_load(&pts);
+        let users = [Point::new(10.0, 90.0), Point::new(15.0, 80.0), Point::new(5.0, 85.0)];
+        for agg in [Aggregate::Max, Aggregate::Sum] {
+            let (top10, _) = GnnSearch::new(&tree, &users, agg).top_k(10);
+            for w in top10.windows(2) {
+                assert!(w[0].dist <= w[1].dist + 1e-12);
+            }
+            // top-1 is a prefix of top-10.
+            let best = GnnSearch::new(&tree, &users, agg).best().unwrap();
+            assert!((best.dist - top10[0].dist).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_user_gnn_reduces_to_nearest_neighbor() {
+        let pts = clustered_points(200);
+        let tree = RTree::bulk_load(&pts);
+        let user = [Point::new(42.0, 17.0)];
+        let best = GnnSearch::new(&tree, &user, Aggregate::Max).best().unwrap();
+        let (nn, d) = tree.nearest(user[0]).unwrap();
+        assert_eq!(best.entry.id, nn.id);
+        assert!((best.dist - d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_data_returns_everything() {
+        let pts = clustered_points(25);
+        let tree = RTree::bulk_load(&pts);
+        let users = [Point::new(0.0, 0.0), Point::new(100.0, 100.0)];
+        let (got, _) = GnnSearch::new(&tree, &users, Aggregate::Sum).top_k(100);
+        assert_eq!(got.len(), 25);
+    }
+
+    #[test]
+    fn empty_tree_returns_no_results() {
+        let tree = RTree::bulk_load(&[]);
+        let users = [Point::new(0.0, 0.0)];
+        assert!(GnnSearch::new(&tree, &users, Aggregate::Max).best().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn empty_user_group_panics() {
+        let tree = RTree::bulk_load(&[Point::ORIGIN]);
+        let _ = GnnSearch::new(&tree, &[], Aggregate::Max);
+    }
+
+    #[test]
+    fn aggregate_names() {
+        assert_eq!(Aggregate::Max.name(), "max");
+        assert_eq!(Aggregate::Sum.name(), "sum");
+    }
+}

@@ -1,0 +1,25 @@
+//! Spatial indexing of the POI set: an R-tree plus group nearest-neighbour (GNN) search.
+//!
+//! The MPN server (Fig. 3 of the paper) manages the points of interest in an R-tree.  Three
+//! query capabilities are needed by the safe-region algorithms:
+//!
+//! 1. **Top-k group nearest neighbours** under the MAX or SUM aggregate (`FindMaxGNN` /
+//!    `FindSumGNN` of Papadias et al., used by Algorithm 1 line 1 and by the buffering
+//!    optimisation of Section 5.4) — see [`gnn`].
+//! 2. **Candidate retrieval with per-user radius pruning** (Theorem 3 / Theorem 6 and the MBR
+//!    pruning of Fig. 10) — see [`RTree::candidates_within_user_radii`] and
+//!    [`RTree::candidates_within_sum_radius`].
+//! 3. Ordinary spatial queries (nearest neighbour, range) used by tests, examples and the
+//!    workload tooling.
+//!
+//! The R-tree is implemented from scratch: STR bulk loading for static POI sets, quadratic-split
+//! insertion for incremental updates, and best-first traversal with a binary heap for all
+//! distance-ranked queries.  Node accesses are counted so experiments can report index I/O.
+
+#![forbid(unsafe_code)]
+
+pub mod gnn;
+pub mod rtree;
+
+pub use gnn::{Aggregate, GnnNeighbor, GnnSearch};
+pub use rtree::{PoiEntry, QueryStats, RTree, RTreeConfig};

@@ -1,0 +1,893 @@
+//! A planar R-tree over points of interest.
+//!
+//! The tree supports STR (Sort-Tile-Recursive) bulk loading for static POI data sets —
+//! the common case in the paper's experiments — and incremental insertion with quadratic
+//! node splitting for dynamic data.  All distance-ranked traversals are best-first searches
+//! over a binary heap, which gives the incremental top-k behaviour required by the GNN
+//! queries of [`crate::gnn`].
+
+use mpn_geom::{DistanceBounds, Point, Rect};
+
+/// Configuration of the R-tree fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum number of entries per node before it is split.
+    pub max_entries: usize,
+    /// Minimum number of entries per node produced by a split.
+    pub min_entries: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        // A fan-out of 32 models a small disk page of POI records; the 40% minimum fill
+        // follows the classic R-tree guidance.
+        Self { max_entries: 32, min_entries: 13 }
+    }
+}
+
+impl RTreeConfig {
+    /// Creates a configuration, clamping degenerate values to sane minimums.
+    #[must_use]
+    pub fn new(max_entries: usize, min_entries: usize) -> Self {
+        let max_entries = max_entries.max(4);
+        let min_entries = min_entries.clamp(2, max_entries / 2);
+        Self { max_entries, min_entries }
+    }
+}
+
+/// A point of interest stored in the tree: a stable identifier plus its location.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoiEntry {
+    /// Stable identifier of the POI (index into the original data set).
+    pub id: usize,
+    /// Location of the POI.
+    pub location: Point,
+}
+
+impl PoiEntry {
+    /// Creates an entry.
+    #[must_use]
+    pub const fn new(id: usize, location: Point) -> Self {
+        Self { id, location }
+    }
+}
+
+/// Counters describing the work performed by a single query.
+///
+/// `nodes_visited` is the number of R-tree nodes whose children were examined (a proxy for
+/// index I/O); `points_examined` is the number of leaf entries whose exact distance was
+/// evaluated.  The buffering optimisation of Section 5.4 exists precisely to reduce these
+/// numbers, so the simulation reports them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Number of internal/leaf nodes expanded during the query.
+    pub nodes_visited: usize,
+    /// Number of POI entries whose distance was computed.
+    pub points_examined: usize,
+}
+
+impl QueryStats {
+    /// Adds another stats record into this one.
+    pub fn absorb(&mut self, other: QueryStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.points_examined += other.points_examined;
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Leaf { mbr: Rect, entries: Vec<PoiEntry> },
+    Internal { mbr: Rect, children: Vec<Node> },
+}
+
+impl Node {
+    pub(crate) fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => *mbr,
+        }
+    }
+
+    fn recompute_mbr(&mut self) {
+        match self {
+            Node::Leaf { mbr, entries } => {
+                *mbr = entries
+                    .iter()
+                    .fold(Rect::EMPTY, |r, e| r.union(Rect::from_point(e.location)));
+            }
+            Node::Internal { mbr, children } => {
+                *mbr = children.iter().fold(Rect::EMPTY, |r, c| r.union(c.mbr()));
+            }
+        }
+    }
+
+    fn height(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::height).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => {
+                1 + children.iter().map(Node::node_count).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of POI entries stored in the subtree (used by structural tests).
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { children, .. } => children.iter().map(Node::len).sum(),
+        }
+    }
+}
+
+/// An R-tree over [`PoiEntry`] records.
+#[derive(Debug, Clone)]
+pub struct RTree {
+    config: RTreeConfig,
+    root: Option<Node>,
+    len: usize,
+    next_id: usize,
+}
+
+impl Default for RTree {
+    fn default() -> Self {
+        Self::new(RTreeConfig::default())
+    }
+}
+
+impl RTree {
+    /// Creates an empty tree with the given configuration.
+    #[must_use]
+    pub fn new(config: RTreeConfig) -> Self {
+        Self { config, root: None, len: 0, next_id: 0 }
+    }
+
+    /// Bulk loads a tree from plain points; the entry id of each point is its slice index.
+    #[must_use]
+    pub fn bulk_load(points: &[Point]) -> Self {
+        let entries = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PoiEntry::new(i, *p))
+            .collect();
+        Self::bulk_load_entries(entries, RTreeConfig::default())
+    }
+
+    /// Bulk loads a tree from pre-identified entries using Sort-Tile-Recursive packing.
+    #[must_use]
+    pub fn bulk_load_entries(entries: Vec<PoiEntry>, config: RTreeConfig) -> Self {
+        let len = entries.len();
+        let next_id = entries.iter().map(|e| e.id + 1).max().unwrap_or(0);
+        if entries.is_empty() {
+            return Self { config, root: None, len: 0, next_id };
+        }
+        let leaves = str_pack_leaves(entries, config.max_entries);
+        let root = build_upper_levels(leaves, config.max_entries);
+        Self { config, root: Some(root), len, next_id }
+    }
+
+    /// Number of POIs stored in the tree.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no POIs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::height)
+    }
+
+    /// Total number of nodes (leaves plus internal nodes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::node_count)
+    }
+
+    /// Minimum bounding rectangle of the whole data set.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        self.root.as_ref().map_or(Rect::EMPTY, Node::mbr)
+    }
+
+    /// The tree's fan-out configuration.
+    #[must_use]
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Inserts a new POI and returns its assigned id.
+    pub fn insert(&mut self, location: Point) -> usize {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.insert_entry(PoiEntry::new(id, location));
+        id
+    }
+
+    /// Inserts a pre-identified entry.
+    pub fn insert_entry(&mut self, entry: PoiEntry) {
+        self.next_id = self.next_id.max(entry.id + 1);
+        self.len += 1;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf {
+                    mbr: Rect::from_point(entry.location),
+                    entries: vec![entry],
+                });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = insert_recursive(&mut root, entry, &self.config) {
+                    // Root split: grow the tree by one level.
+                    let mbr = root.mbr().union(sibling.mbr());
+                    self.root = Some(Node::Internal { mbr, children: vec![root, sibling] });
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Iterates over every entry (in unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = PoiEntry> + '_ {
+        let mut stack: Vec<&Node> = self.root.iter().collect();
+        std::iter::from_fn(move || loop {
+            let node = stack.pop()?;
+            match node {
+                Node::Leaf { entries, .. } => return Some(entries.clone()),
+                Node::Internal { children, .. } => stack.extend(children.iter()),
+            }
+        })
+        .flatten()
+    }
+
+    /// All entries inside (or on the boundary of) the query rectangle.
+    #[must_use]
+    pub fn range(&self, query: &Rect) -> Vec<PoiEntry> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&Node> = self.root.iter().collect();
+        while let Some(node) = stack.pop() {
+            if !node.mbr().intersects(query) {
+                continue;
+            }
+            match node {
+                Node::Leaf { entries, .. } => {
+                    out.extend(entries.iter().copied().filter(|e| query.contains(e.location)));
+                }
+                Node::Internal { children, .. } => stack.extend(children.iter()),
+            }
+        }
+        out
+    }
+
+    /// Nearest POI to the query point, with its distance.
+    #[must_use]
+    pub fn nearest(&self, query: Point) -> Option<(PoiEntry, f64)> {
+        self.k_nearest(query, 1).into_iter().next()
+    }
+
+    /// The `k` nearest POIs to the query point, ordered by increasing distance.
+    #[must_use]
+    pub fn k_nearest(&self, query: Point, k: usize) -> Vec<(PoiEntry, f64)> {
+        let mut out = Vec::with_capacity(k);
+        if k == 0 {
+            return out;
+        }
+        let mut heap = BestFirstHeap::new();
+        if let Some(root) = &self.root {
+            heap.push_node(root.mbr().min_dist(query), root);
+        }
+        while let Some(item) = heap.pop() {
+            match item {
+                HeapItem::Node(_, node) => match node {
+                    Node::Leaf { entries, .. } => {
+                        for e in entries {
+                            heap.push_entry(e.location.dist(query), *e);
+                        }
+                    }
+                    Node::Internal { children, .. } => {
+                        for c in children {
+                            heap.push_node(c.mbr().min_dist(query), c);
+                        }
+                    }
+                },
+                HeapItem::Entry(d, e) => {
+                    out.push((e, d));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Candidate POIs for the MAX objective: every POI `p` such that `‖p, uᵢ‖ ≤ radiiᵢ` for all
+    /// users `uᵢ` (the complement of the pruning rule of Theorem 3).  An R-tree node is pruned
+    /// as soon as its MBR lies farther than `radiiᵢ` from some user (Fig. 10).
+    #[must_use]
+    pub fn candidates_within_user_radii(
+        &self,
+        users: &[Point],
+        radii: &[f64],
+    ) -> (Vec<PoiEntry>, QueryStats) {
+        assert_eq!(users.len(), radii.len(), "one radius per user");
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut stack: Vec<&Node> = self.root.iter().collect();
+        while let Some(node) = stack.pop() {
+            let mbr = node.mbr();
+            let pruned = users
+                .iter()
+                .zip(radii)
+                .any(|(u, r)| mbr.min_dist(*u) > *r);
+            if pruned {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        stats.points_examined += 1;
+                        let keep = users
+                            .iter()
+                            .zip(radii)
+                            .all(|(u, r)| e.location.dist(*u) <= *r);
+                        if keep {
+                            out.push(*e);
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => stack.extend(children.iter()),
+            }
+        }
+        (out, stats)
+    }
+
+    /// Candidate POIs for the SUM objective: every POI whose summed distance to the users is at
+    /// most `threshold` (the complement of the pruning rule of Theorem 6).  A node is pruned
+    /// when the sum of per-user minimum distances to its MBR already exceeds the threshold.
+    #[must_use]
+    pub fn candidates_within_sum_radius(
+        &self,
+        users: &[Point],
+        threshold: f64,
+    ) -> (Vec<PoiEntry>, QueryStats) {
+        let mut out = Vec::new();
+        let mut stats = QueryStats::default();
+        let mut stack: Vec<&Node> = self.root.iter().collect();
+        while let Some(node) = stack.pop() {
+            let mbr = node.mbr();
+            let lower: f64 = users.iter().map(|u| mbr.min_dist(*u)).sum();
+            if lower > threshold {
+                continue;
+            }
+            stats.nodes_visited += 1;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        stats.points_examined += 1;
+                        let sum: f64 = users.iter().map(|u| e.location.dist(*u)).sum();
+                        if sum <= threshold {
+                            out.push(*e);
+                        }
+                    }
+                }
+                Node::Internal { children, .. } => stack.extend(children.iter()),
+            }
+        }
+        (out, stats)
+    }
+
+    pub(crate) fn root(&self) -> Option<&Node> {
+        self.root.as_ref()
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// Best-first traversal plumbing.
+// ---------------------------------------------------------------------------------------------
+
+pub(crate) enum HeapItem<'a> {
+    Node(f64, &'a Node),
+    Entry(f64, PoiEntry),
+}
+
+impl HeapItem<'_> {
+    fn key(&self) -> f64 {
+        match self {
+            HeapItem::Node(k, _) | HeapItem::Entry(k, _) => *k,
+        }
+    }
+}
+
+/// A min-heap over heap items keyed by distance (std's `BinaryHeap` is a max-heap, so the
+/// ordering is reversed here).
+pub(crate) struct BestFirstHeap<'a> {
+    heap: std::collections::BinaryHeap<HeapOrd<'a>>,
+}
+
+struct HeapOrd<'a>(HeapItem<'a>);
+
+impl PartialEq for HeapOrd<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl Eq for HeapOrd<'_> {}
+impl PartialOrd for HeapOrd<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapOrd<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: smallest key first.
+        other.0.key().total_cmp(&self.0.key())
+    }
+}
+
+impl<'a> BestFirstHeap<'a> {
+    pub(crate) fn new() -> Self {
+        Self { heap: std::collections::BinaryHeap::new() }
+    }
+
+    pub(crate) fn push_node(&mut self, key: f64, node: &'a Node) {
+        self.heap.push(HeapOrd(HeapItem::Node(key, node)));
+    }
+
+    pub(crate) fn push_entry(&mut self, key: f64, entry: PoiEntry) {
+        self.heap.push(HeapOrd(HeapItem::Entry(key, entry)));
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<HeapItem<'a>> {
+        self.heap.pop().map(|h| h.0)
+    }
+}
+
+// ---------------------------------------------------------------------------------------------
+// STR bulk loading.
+// ---------------------------------------------------------------------------------------------
+
+fn str_pack_leaves(mut entries: Vec<PoiEntry>, cap: usize) -> Vec<Node> {
+    let n = entries.len();
+    let leaf_count = n.div_ceil(cap);
+    let slices = (leaf_count as f64).sqrt().ceil() as usize;
+    entries.sort_by(|a, b| a.location.x.total_cmp(&b.location.x));
+    let per_slice = n.div_ceil(slices.max(1));
+
+    let mut leaves = Vec::with_capacity(leaf_count);
+    for slice in entries.chunks(per_slice.max(1)) {
+        let mut slice: Vec<PoiEntry> = slice.to_vec();
+        slice.sort_by(|a, b| a.location.y.total_cmp(&b.location.y));
+        for chunk in slice.chunks(cap) {
+            let mut leaf = Node::Leaf { mbr: Rect::EMPTY, entries: chunk.to_vec() };
+            leaf.recompute_mbr();
+            leaves.push(leaf);
+        }
+    }
+    leaves
+}
+
+fn build_upper_levels(mut level: Vec<Node>, cap: usize) -> Node {
+    while level.len() > 1 {
+        // Pack the current level with the same STR strategy applied to node centres.
+        let n = level.len();
+        let group_count = n.div_ceil(cap);
+        let slices = (group_count as f64).sqrt().ceil() as usize;
+        level.sort_by(|a, b| a.mbr().center().x.total_cmp(&b.mbr().center().x));
+        let per_slice = n.div_ceil(slices.max(1));
+
+        let mut next = Vec::with_capacity(group_count);
+        let mut buf: Vec<Node> = Vec::new();
+        std::mem::swap(&mut buf, &mut level);
+        let mut chunks: Vec<Vec<Node>> = Vec::new();
+        let mut iter = buf.into_iter().peekable();
+        while iter.peek().is_some() {
+            let slice: Vec<Node> = iter.by_ref().take(per_slice.max(1)).collect();
+            chunks.push(slice);
+        }
+        for mut slice in chunks {
+            slice.sort_by(|a, b| a.mbr().center().y.total_cmp(&b.mbr().center().y));
+            let mut iter = slice.into_iter().peekable();
+            while iter.peek().is_some() {
+                let children: Vec<Node> = iter.by_ref().take(cap).collect();
+                let mut node = Node::Internal { mbr: Rect::EMPTY, children };
+                node.recompute_mbr();
+                next.push(node);
+            }
+        }
+        level = next;
+    }
+    level.pop().expect("non-empty level")
+}
+
+// ---------------------------------------------------------------------------------------------
+// Incremental insertion with quadratic split.
+// ---------------------------------------------------------------------------------------------
+
+/// Inserts into the subtree rooted at `node`; returns a new sibling if `node` was split.
+fn insert_recursive(node: &mut Node, entry: PoiEntry, config: &RTreeConfig) -> Option<Node> {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            entries.push(entry);
+            *mbr = mbr.union(Rect::from_point(entry.location));
+            if entries.len() > config.max_entries {
+                let (left, right) = split_leaf(std::mem::take(entries), config);
+                let (lm, le) = left;
+                *mbr = lm;
+                *entries = le;
+                let (rm, re) = right;
+                Some(Node::Leaf { mbr: rm, entries: re })
+            } else {
+                None
+            }
+        }
+        Node::Internal { mbr, children } => {
+            let point_rect = Rect::from_point(entry.location);
+            // Choose the child needing the least area enlargement (ties: smaller area).
+            let best = (0..children.len())
+                .min_by(|&i, &j| {
+                    let ei = children[i].mbr().enlargement(point_rect);
+                    let ej = children[j].mbr().enlargement(point_rect);
+                    ei.total_cmp(&ej)
+                        .then(children[i].mbr().area().total_cmp(&children[j].mbr().area()))
+                })
+                .expect("internal node has children");
+            let new_sibling = insert_recursive(&mut children[best], entry, config);
+            if let Some(sib) = new_sibling {
+                children.push(sib);
+            }
+            *mbr = children.iter().fold(Rect::EMPTY, |r, c| r.union(c.mbr()));
+            if children.len() > config.max_entries {
+                let (left, right) = split_internal(std::mem::take(children), config);
+                let (lm, lc) = left;
+                *mbr = lm;
+                *children = lc;
+                let (rm, rc) = right;
+                Some(Node::Internal { mbr: rm, children: rc })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Quadratic split over arbitrary items given a function producing each item's rectangle.
+fn quadratic_split<T>(
+    items: Vec<T>,
+    rect_of: impl Fn(&T) -> Rect,
+    min_entries: usize,
+) -> ((Rect, Vec<T>), (Rect, Vec<T>)) {
+    debug_assert!(items.len() >= 2);
+    // Pick the pair of seeds wasting the most area when grouped together.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let ri = rect_of(&items[i]);
+            let rj = rect_of(&items[j]);
+            let waste = ri.union(rj).area() - ri.area() - rj.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a: Vec<T> = Vec::new();
+    let mut group_b: Vec<T> = Vec::new();
+    let mut mbr_a = Rect::EMPTY;
+    let mut mbr_b = Rect::EMPTY;
+    let mut rest: Vec<T> = Vec::new();
+    for (idx, item) in items.into_iter().enumerate() {
+        if idx == seed_a {
+            mbr_a = rect_of(&item);
+            group_a.push(item);
+        } else if idx == seed_b {
+            mbr_b = rect_of(&item);
+            group_b.push(item);
+        } else {
+            rest.push(item);
+        }
+    }
+
+    let total = rest.len() + 2;
+    for item in rest {
+        let r = rect_of(&item);
+        // Honour the minimum fill: if one group must take everything remaining, do so.
+        let remaining = total - group_a.len() - group_b.len();
+        if group_a.len() + remaining <= min_entries {
+            mbr_a = mbr_a.union(r);
+            group_a.push(item);
+            continue;
+        }
+        if group_b.len() + remaining <= min_entries {
+            mbr_b = mbr_b.union(r);
+            group_b.push(item);
+            continue;
+        }
+        let grow_a = mbr_a.union(r).area() - mbr_a.area();
+        let grow_b = mbr_b.union(r).area() - mbr_b.area();
+        if grow_a < grow_b || (grow_a == grow_b && mbr_a.area() <= mbr_b.area()) {
+            mbr_a = mbr_a.union(r);
+            group_a.push(item);
+        } else {
+            mbr_b = mbr_b.union(r);
+            group_b.push(item);
+        }
+    }
+    ((mbr_a, group_a), (mbr_b, group_b))
+}
+
+type LeafSplit = ((Rect, Vec<PoiEntry>), (Rect, Vec<PoiEntry>));
+type InternalSplit = ((Rect, Vec<Node>), (Rect, Vec<Node>));
+
+fn split_leaf(entries: Vec<PoiEntry>, config: &RTreeConfig) -> LeafSplit {
+    quadratic_split(entries, |e| Rect::from_point(e.location), config.min_entries)
+}
+
+fn split_internal(children: Vec<Node>, config: &RTreeConfig) -> InternalSplit {
+    quadratic_split(children, Node::mbr, config.min_entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(n: usize) -> Vec<Point> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| Point::new((i % side) as f64, (i / side) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = RTree::default();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.height(), 0);
+        assert!(t.nearest(Point::ORIGIN).is_none());
+        assert!(t.range(&Rect::new(Point::ORIGIN, Point::new(1.0, 1.0))).is_empty());
+        assert!(t.bounds().is_empty());
+    }
+
+    #[test]
+    fn bulk_load_indexes_every_point() {
+        let pts = grid_points(1000);
+        let t = RTree::bulk_load(&pts);
+        assert_eq!(t.len(), 1000);
+        assert!(t.height() >= 2);
+        let mut ids: Vec<usize> = t.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bulk_load_single_point_and_empty() {
+        let t = RTree::bulk_load(&[Point::new(3.0, 4.0)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        let (e, d) = t.nearest(Point::ORIGIN).unwrap();
+        assert_eq!(e.id, 0);
+        assert!((d - 5.0).abs() < 1e-12);
+
+        let empty = RTree::bulk_load(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn nearest_matches_linear_scan() {
+        let pts = grid_points(500);
+        let t = RTree::bulk_load(&pts);
+        let queries = [
+            Point::new(3.3, 7.9),
+            Point::new(-5.0, -5.0),
+            Point::new(30.0, 2.0),
+            Point::new(11.5, 11.5),
+        ];
+        for q in queries {
+            let (got, gd) = t.nearest(q).unwrap();
+            let (want_i, want_d) = pts
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i, p.dist(q)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            assert!((gd - want_d).abs() < 1e-12);
+            assert_eq!(pts[got.id].dist(q), pts[want_i].dist(q));
+        }
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_and_correct() {
+        let pts = grid_points(200);
+        let t = RTree::bulk_load(&pts);
+        let q = Point::new(5.2, 5.7);
+        let got = t.k_nearest(q, 10);
+        assert_eq!(got.len(), 10);
+        for w in got.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1e-12);
+        }
+        let mut brute: Vec<f64> = pts.iter().map(|p| p.dist(q)).collect();
+        brute.sort_by(f64::total_cmp);
+        for (i, (_, d)) in got.iter().enumerate() {
+            assert!((d - brute[i]).abs() < 1e-12);
+        }
+        // Asking for more neighbours than points returns everything.
+        assert_eq!(t.k_nearest(q, 1000).len(), 200);
+        assert!(t.k_nearest(q, 0).is_empty());
+    }
+
+    #[test]
+    fn range_query_matches_filter() {
+        let pts = grid_points(400);
+        let t = RTree::bulk_load(&pts);
+        let q = Rect::new(Point::new(2.5, 3.5), Point::new(9.5, 12.5));
+        let mut got: Vec<usize> = t.range(&q).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| q.contains(**p))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn insertion_grows_and_stays_queryable() {
+        let mut t = RTree::new(RTreeConfig::new(8, 3));
+        let pts = grid_points(300);
+        for p in &pts {
+            t.insert(*p);
+        }
+        assert_eq!(t.len(), 300);
+        assert!(t.height() >= 2);
+        // Every inserted point is its own nearest neighbour at distance 0.
+        for (i, p) in pts.iter().enumerate().step_by(17) {
+            let (e, d) = t.nearest(*p).unwrap();
+            assert!(d < 1e-12, "point {i} should be found exactly");
+            assert_eq!(pts[e.id], *p);
+        }
+    }
+
+    #[test]
+    fn insertion_after_bulk_load() {
+        let mut t = RTree::bulk_load(&grid_points(100));
+        let id = t.insert(Point::new(-50.0, -50.0));
+        assert_eq!(id, 100);
+        assert_eq!(t.len(), 101);
+        let (e, d) = t.nearest(Point::new(-49.0, -50.0)).unwrap();
+        assert_eq!(e.id, 100);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_capacity_is_respected() {
+        let mut t = RTree::new(RTreeConfig::new(6, 2));
+        for p in grid_points(200) {
+            t.insert(p);
+        }
+        fn check(node: &Node, cap: usize, is_root: bool) {
+            match node {
+                Node::Leaf { entries, .. } => assert!(entries.len() <= cap),
+                Node::Internal { children, .. } => {
+                    assert!(children.len() <= cap);
+                    if !is_root {
+                        assert!(children.len() >= 2);
+                    }
+                    for c in children {
+                        check(c, cap, false);
+                    }
+                }
+            }
+        }
+        check(t.root().unwrap(), 6, true);
+    }
+
+    #[test]
+    fn mbrs_cover_their_subtrees() {
+        let t = RTree::bulk_load(&grid_points(777));
+        fn check(node: &Node) {
+            let mbr = node.mbr();
+            match node {
+                Node::Leaf { entries, .. } => {
+                    for e in entries {
+                        assert!(mbr.contains(e.location));
+                    }
+                }
+                Node::Internal { children, .. } => {
+                    for c in children {
+                        assert!(mbr.contains_rect(&c.mbr()));
+                        check(c);
+                    }
+                }
+            }
+        }
+        check(t.root().unwrap());
+    }
+
+    #[test]
+    fn candidates_within_user_radii_matches_brute_force() {
+        let pts = grid_points(400);
+        let t = RTree::bulk_load(&pts);
+        let users = [Point::new(4.0, 4.0), Point::new(10.0, 6.0)];
+        let radii = [6.0, 8.0];
+        let (got, stats) = t.candidates_within_user_radii(&users, &radii);
+        let mut got_ids: Vec<usize> = got.iter().map(|e| e.id).collect();
+        got_ids.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| users.iter().zip(radii).all(|(u, r)| p.dist(*u) <= r))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got_ids, want);
+        // Pruning must have avoided visiting the whole tree.
+        assert!(stats.points_examined < pts.len());
+    }
+
+    #[test]
+    fn candidates_within_sum_radius_matches_brute_force() {
+        let pts = grid_points(400);
+        let t = RTree::bulk_load(&pts);
+        let users = [Point::new(2.0, 2.0), Point::new(15.0, 15.0), Point::new(8.0, 1.0)];
+        let threshold = 45.0;
+        let (got, _) = t.candidates_within_sum_radius(&users, threshold);
+        let mut got_ids: Vec<usize> = got.iter().map(|e| e.id).collect();
+        got_ids.sort_unstable();
+        let mut want: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| users.iter().map(|u| p.dist(*u)).sum::<f64>() <= threshold)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got_ids, want);
+    }
+
+    #[test]
+    fn query_stats_absorb_accumulates() {
+        let mut a = QueryStats { nodes_visited: 2, points_examined: 10 };
+        a.absorb(QueryStats { nodes_visited: 3, points_examined: 4 });
+        assert_eq!(a, QueryStats { nodes_visited: 5, points_examined: 14 });
+    }
+
+    #[test]
+    fn subtree_entry_count_matches_len() {
+        let t = RTree::bulk_load(&grid_points(321));
+        assert_eq!(t.root().unwrap().len(), t.len());
+        let mut t2 = RTree::new(RTreeConfig::new(8, 3));
+        for p in grid_points(97) {
+            t2.insert(p);
+        }
+        assert_eq!(t2.root().unwrap().len(), 97);
+    }
+
+    #[test]
+    fn duplicate_points_are_all_retained() {
+        let pts = vec![Point::new(1.0, 1.0); 50];
+        let t = RTree::bulk_load(&pts);
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.k_nearest(Point::new(1.0, 1.0), 50).len(), 50);
+    }
+}

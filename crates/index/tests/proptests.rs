@@ -1,0 +1,130 @@
+//! Property-based tests for the R-tree and the GNN search: every distance-ranked query must
+//! agree with a brute-force linear scan, for arbitrary point sets and query locations.
+
+use mpn_geom::{DistanceBounds, Point, Rect};
+use mpn_index::gnn::brute_force_gnn;
+use mpn_index::{Aggregate, GnnSearch, RTree, RTreeConfig};
+use proptest::prelude::*;
+
+fn pt() -> impl Strategy<Value = Point> {
+    (-500.0f64..500.0, -500.0f64..500.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn nearest_neighbour_matches_linear_scan(
+        points in proptest::collection::vec(pt(), 1..200),
+        query in pt(),
+    ) {
+        let tree = RTree::bulk_load(&points);
+        let (got, dist) = tree.nearest(query).unwrap();
+        let best = points.iter().map(|p| p.dist(query)).fold(f64::INFINITY, f64::min);
+        prop_assert!((dist - best).abs() < 1e-9);
+        prop_assert!((points[got.id].dist(query) - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_nearest_is_sorted_prefix_of_the_true_ranking(
+        points in proptest::collection::vec(pt(), 1..200),
+        query in pt(),
+        k in 1usize..20,
+    ) {
+        let tree = RTree::bulk_load(&points);
+        let got = tree.k_nearest(query, k);
+        prop_assert_eq!(got.len(), k.min(points.len()));
+        let mut dists: Vec<f64> = points.iter().map(|p| p.dist(query)).collect();
+        dists.sort_by(f64::total_cmp);
+        for (i, (_, d)) in got.iter().enumerate() {
+            prop_assert!((d - dists[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn range_query_matches_filter(
+        points in proptest::collection::vec(pt(), 0..200),
+        a in pt(),
+        b in pt(),
+    ) {
+        let tree = RTree::bulk_load(&points);
+        let query = Rect::new(a, b);
+        let mut got: Vec<usize> = tree.range(&query).into_iter().map(|e| e.id).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| query.contains(**p))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn gnn_matches_brute_force_for_both_aggregates(
+        points in proptest::collection::vec(pt(), 1..150),
+        users in proptest::collection::vec(pt(), 1..6),
+        k in 1usize..8,
+    ) {
+        let tree = RTree::bulk_load(&points);
+        for agg in [Aggregate::Max, Aggregate::Sum] {
+            let (got, _) = GnnSearch::new(&tree, &users, agg).top_k(k);
+            let want = brute_force_gnn(&points, &users, agg, k);
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert!((g.dist - w.dist).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insertion_agrees_with_bulk_load(
+        points in proptest::collection::vec(pt(), 1..150),
+        query in pt(),
+    ) {
+        let bulk = RTree::bulk_load(&points);
+        let mut incremental = RTree::new(RTreeConfig::new(8, 3));
+        for p in &points {
+            incremental.insert(*p);
+        }
+        prop_assert_eq!(bulk.len(), incremental.len());
+        let (_, d1) = bulk.nearest(query).unwrap();
+        let (_, d2) = incremental.nearest(query).unwrap();
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_retrieval_matches_brute_force(
+        points in proptest::collection::vec(pt(), 0..150),
+        users in proptest::collection::vec(pt(), 1..5),
+        radius in 10.0f64..800.0,
+    ) {
+        let tree = RTree::bulk_load(&points);
+        let radii: Vec<f64> = users.iter().enumerate().map(|(i, _)| radius + 20.0 * i as f64).collect();
+        let (got, _) = tree.candidates_within_user_radii(&users, &radii);
+        let mut got_ids: Vec<usize> = got.iter().map(|e| e.id).collect();
+        got_ids.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| users.iter().zip(&radii).all(|(u, r)| p.dist(*u) <= *r))
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got_ids, want);
+
+        let threshold = radius * users.len() as f64;
+        let (got_sum, _) = tree.candidates_within_sum_radius(&users, threshold);
+        let mut got_sum_ids: Vec<usize> = got_sum.iter().map(|e| e.id).collect();
+        got_sum_ids.sort_unstable();
+        let mut want_sum: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| users.iter().map(|u| p.dist(*u)).sum::<f64>() <= threshold)
+            .map(|(i, _)| i)
+            .collect();
+        want_sum.sort_unstable();
+        prop_assert_eq!(got_sum_ids, want_sum);
+    }
+}

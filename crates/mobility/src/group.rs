@@ -1,0 +1,146 @@
+//! User groups: bundles of trajectories monitored together.
+//!
+//! The paper partitions each 60-trajectory data set into 10 user groups and reports averages
+//! over the groups.  [`GroupWorkload`] holds a full workload (every group plus the POI set
+//! metadata is handled elsewhere), and [`partition_into_groups`] reproduces the partitioning.
+
+use mpn_geom::Point;
+
+use crate::trajectory::Trajectory;
+
+/// A set of user groups sharing the same data-set parameters.
+#[derive(Debug, Clone)]
+pub struct GroupWorkload {
+    groups: Vec<Vec<Trajectory>>,
+}
+
+impl GroupWorkload {
+    /// Builds a workload from pre-partitioned groups.
+    ///
+    /// # Panics
+    /// Panics when any group is empty.
+    #[must_use]
+    pub fn new(groups: Vec<Vec<Trajectory>>) -> Self {
+        assert!(groups.iter().all(|g| !g.is_empty()), "groups must be non-empty");
+        Self { groups }
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The trajectories of one group.
+    #[must_use]
+    pub fn group(&self, idx: usize) -> &[Trajectory] {
+        &self.groups[idx]
+    }
+
+    /// Iterates over all groups.
+    pub fn iter(&self) -> impl Iterator<Item = &[Trajectory]> {
+        self.groups.iter().map(Vec::as_slice)
+    }
+
+    /// The locations of one group's members at a given timestamp.
+    #[must_use]
+    pub fn locations_at(&self, group: usize, t: usize) -> Vec<Point> {
+        self.groups[group].iter().map(|traj| traj.at(t)).collect()
+    }
+
+    /// The shortest trajectory length across all groups (the usable monitoring horizon).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.groups
+            .iter()
+            .flat_map(|g| g.iter().map(Trajectory::len))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Applies the speed-scaling procedure to every trajectory (Section 7.2) and returns the
+    /// scaled workload.
+    #[must_use]
+    pub fn scale_speed(&self, fraction: f64, samples: usize) -> GroupWorkload {
+        GroupWorkload {
+            groups: self
+                .groups
+                .iter()
+                .map(|g| g.iter().map(|t| t.scale_speed(fraction, samples)).collect())
+                .collect(),
+        }
+    }
+}
+
+/// Partitions `trajectories` into groups of `group_size` consecutive members, dropping any
+/// remainder that cannot form a complete group (mirroring the paper's 60-trajectory → 10-group
+/// partitioning for `m = 6`).
+#[must_use]
+pub fn partition_into_groups(trajectories: Vec<Trajectory>, group_size: usize) -> GroupWorkload {
+    assert!(group_size >= 1, "group size must be at least 1");
+    let complete = trajectories.len() / group_size;
+    let mut groups = Vec::with_capacity(complete);
+    let mut iter = trajectories.into_iter();
+    for _ in 0..complete {
+        groups.push(iter.by_ref().take(group_size).collect());
+    }
+    GroupWorkload::new(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(offset: f64, len: usize) -> Trajectory {
+        Trajectory::new((0..len).map(|i| Point::new(offset + i as f64, offset)).collect())
+    }
+
+    #[test]
+    fn partitioning_makes_complete_groups_and_drops_the_remainder() {
+        let trajectories: Vec<Trajectory> = (0..14).map(|i| traj(f64::from(i), 50)).collect();
+        let workload = partition_into_groups(trajectories, 4);
+        assert_eq!(workload.group_count(), 3);
+        for g in workload.iter() {
+            assert_eq!(g.len(), 4);
+        }
+        // Members stay in input order: the first group holds offsets 0..4.
+        assert_eq!(workload.group(0)[0].at(0), Point::new(0.0, 0.0));
+        assert_eq!(workload.group(0)[3].at(0), Point::new(3.0, 3.0));
+    }
+
+    #[test]
+    fn locations_at_returns_one_point_per_member() {
+        let workload = partition_into_groups((0..6).map(|i| traj(f64::from(i), 30)).collect(), 3);
+        let locs = workload.locations_at(1, 10);
+        assert_eq!(locs.len(), 3);
+        assert_eq!(locs[0], Point::new(13.0, 3.0));
+    }
+
+    #[test]
+    fn horizon_is_the_shortest_trajectory() {
+        let workload = GroupWorkload::new(vec![
+            vec![traj(0.0, 100), traj(1.0, 80)],
+            vec![traj(2.0, 90)],
+        ]);
+        assert_eq!(workload.horizon(), 80);
+    }
+
+    #[test]
+    fn speed_scaling_applies_to_every_member() {
+        let workload = partition_into_groups((0..4).map(|i| traj(f64::from(i), 101)).collect(), 2);
+        let scaled = workload.scale_speed(0.5, 101);
+        assert_eq!(scaled.group_count(), 2);
+        for g in scaled.iter() {
+            for t in g {
+                assert_eq!(t.len(), 101);
+                assert!((t.mean_step() - 0.5).abs() < 0.02);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_groups_are_rejected() {
+        let _ = GroupWorkload::new(vec![vec![]]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Workload generation: points of interest and moving-user trajectories.
+//!
+//! The paper's experiments (Section 7.1) use
+//!
+//! * a real POI data set of `N = 21,287` points,
+//! * *GeoLife*, a real taxi-trajectory set, and
+//! * *Oldenburg*, a synthetic set produced by Brinkhoff's network-based generator,
+//!
+//! each with 60 trajectories of more than 10,000 timestamps, partitioned into groups.
+//!
+//! Those artefacts are not redistributable, so this crate builds the closest synthetic
+//! equivalents exercising the same code paths (see `DESIGN.md` for the substitution table):
+//!
+//! * [`poi`] — uniform and clustered (Gaussian-mixture) POI generators with subsampling,
+//! * [`trajectory`] — the trajectory container plus arc-length resampling and the
+//!   speed-scaling procedure of the "effect of user speed" experiment,
+//! * [`waypoint`] — a hotspot-biased random-waypoint generator standing in for GeoLife,
+//! * [`network`] — a road-network generator and network-constrained movement standing in for
+//!   Brinkhoff's Oldenburg generator,
+//! * [`group`] — partitioning trajectories into user groups of a given size.
+
+#![forbid(unsafe_code)]
+
+pub mod group;
+pub mod network;
+pub mod poi;
+pub mod trajectory;
+pub mod waypoint;
+
+pub use group::{partition_into_groups, GroupWorkload};
+pub use network::{NetworkConfig, RoadNetwork};
+pub use poi::{clustered_pois, subsample, uniform_pois, PoiConfig};
+pub use trajectory::Trajectory;
+pub use waypoint::{TaxiConfig, WaypointConfig};
+
+/// The default square domain side length used by all generators (an abstract "city" extent).
+pub const DEFAULT_DOMAIN: f64 = 10_000.0;
+
+/// The default maximum user speed `V` in domain units per timestamp.
+pub const DEFAULT_SPEED_LIMIT: f64 = 20.0;
+
+/// The default POI data-set size, matching the paper's real data set (`N = 21,287`).
+pub const DEFAULT_POI_COUNT: usize = 21_287;
+
+/// The default trajectory length in timestamps (the paper uses "above 10,000").
+pub const DEFAULT_TIMESTAMPS: usize = 10_000;

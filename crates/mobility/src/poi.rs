@@ -1,0 +1,188 @@
+//! Point-of-interest data-set generators.
+//!
+//! The paper indexes a real set of 21,287 POIs; these generators produce synthetic sets with
+//! controllable size and skew.  The clustered generator mimics the skew of real POI data
+//! (restaurants and cafes concentrate in urban centres) by drawing points from a Gaussian
+//! mixture whose component centres are themselves uniform in the domain.
+
+use mpn_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the clustered POI generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoiConfig {
+    /// Number of POIs to generate.
+    pub count: usize,
+    /// Side length of the square domain.
+    pub domain: f64,
+    /// Number of Gaussian clusters ("city centres").
+    pub clusters: usize,
+    /// Standard deviation of each cluster, as a fraction of the domain side.
+    pub spread: f64,
+    /// Fraction of POIs drawn uniformly instead of from a cluster (background noise).
+    pub uniform_fraction: f64,
+}
+
+impl Default for PoiConfig {
+    fn default() -> Self {
+        Self {
+            count: crate::DEFAULT_POI_COUNT,
+            domain: crate::DEFAULT_DOMAIN,
+            clusters: 24,
+            spread: 0.03,
+            uniform_fraction: 0.2,
+        }
+    }
+}
+
+/// Generates `count` POIs uniformly distributed over the square `[0, domain]²`.
+#[must_use]
+pub fn uniform_pois(count: usize, domain: f64, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| Point::new(rng.gen_range(0.0..=domain), rng.gen_range(0.0..=domain)))
+        .collect()
+}
+
+/// Generates a clustered POI data set according to `config`.
+///
+/// The same seed always produces the same data set, so experiments are reproducible.
+#[must_use]
+pub fn clustered_pois(config: &PoiConfig, seed: u64) -> Vec<Point> {
+    assert!(config.domain > 0.0, "domain must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters = config.clusters.max(1);
+    let centres: Vec<Point> = (0..clusters)
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..=config.domain),
+                rng.gen_range(0.0..=config.domain),
+            )
+        })
+        .collect();
+    let sigma = config.spread * config.domain;
+    (0..config.count)
+        .map(|_| {
+            if rng.gen::<f64>() < config.uniform_fraction {
+                Point::new(
+                    rng.gen_range(0.0..=config.domain),
+                    rng.gen_range(0.0..=config.domain),
+                )
+            } else {
+                let centre = centres[rng.gen_range(0..clusters)];
+                let p = Point::new(
+                    centre.x + gaussian(&mut rng) * sigma,
+                    centre.y + gaussian(&mut rng) * sigma,
+                );
+                clamp_to_domain(p, config.domain)
+            }
+        })
+        .collect()
+}
+
+/// Keeps a deterministic fraction of the data set (used by the "vary data size n" experiments,
+/// which evaluate `0.25 N`, `0.5 N`, `0.75 N` and `1.0 N`).
+#[must_use]
+pub fn subsample(pois: &[Point], fraction: f64, seed: u64) -> Vec<Point> {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let target = ((pois.len() as f64) * fraction).round() as usize;
+    if target >= pois.len() {
+        return pois.to_vec();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..pois.len()).collect();
+    // Partial Fisher-Yates: the first `target` positions end up with a uniform sample.
+    for i in 0..target {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices.truncate(target);
+    indices.sort_unstable();
+    indices.into_iter().map(|i| pois[i]).collect()
+}
+
+/// Standard normal sample via the Box-Muller transform (keeps the dependency set minimal).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+fn clamp_to_domain(p: Point, domain: f64) -> Point {
+    Point::new(p.x.clamp(0.0, domain), p.y.clamp(0.0, domain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_pois_stay_in_the_domain_and_are_reproducible() {
+        let a = uniform_pois(500, 100.0, 42);
+        let b = uniform_pois(500, 100.0, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().all(|p| (0.0..=100.0).contains(&p.x) && (0.0..=100.0).contains(&p.y)));
+        let c = uniform_pois(500, 100.0, 43);
+        assert_ne!(a, c, "different seeds must give different data");
+    }
+
+    #[test]
+    fn clustered_pois_are_skewed() {
+        let config = PoiConfig { count: 4000, clusters: 4, spread: 0.02, uniform_fraction: 0.0, domain: 1000.0 };
+        let pois = clustered_pois(&config, 7);
+        assert_eq!(pois.len(), 4000);
+        assert!(pois.iter().all(|p| (0.0..=1000.0).contains(&p.x)));
+        // Skew check: split the domain into a 10x10 grid; a clustered set concentrates most
+        // points into a few cells, unlike a uniform set.
+        let mut cells = vec![0usize; 100];
+        for p in &pois {
+            let cx = ((p.x / 100.0) as usize).min(9);
+            let cy = ((p.y / 100.0) as usize).min(9);
+            cells[cy * 10 + cx] += 1;
+        }
+        let occupied = cells.iter().filter(|&&c| c > 0).count();
+        assert!(occupied < 60, "clustered POIs should not cover most grid cells ({occupied})");
+        let max_cell = cells.iter().max().copied().unwrap_or(0);
+        assert!(max_cell > 4000 / 20, "some cell should hold a large share of the POIs");
+    }
+
+    #[test]
+    fn clustered_with_full_uniform_fraction_behaves_like_uniform() {
+        let config = PoiConfig { count: 2000, uniform_fraction: 1.0, domain: 500.0, ..PoiConfig::default() };
+        let pois = clustered_pois(&config, 3);
+        let mut cells = vec![0usize; 25];
+        for p in &pois {
+            let cx = ((p.x / 100.0) as usize).min(4);
+            let cy = ((p.y / 100.0) as usize).min(4);
+            cells[cy * 5 + cx] += 1;
+        }
+        assert!(cells.iter().all(|&c| c > 0), "uniform data should touch every coarse cell");
+    }
+
+    #[test]
+    fn subsample_sizes_and_determinism() {
+        let pois = uniform_pois(1000, 50.0, 1);
+        for fraction in [0.25, 0.5, 0.75, 1.0] {
+            let s = subsample(&pois, fraction, 9);
+            assert_eq!(s.len(), (1000.0 * fraction) as usize);
+            // Every sampled point must come from the original set.
+            assert!(s.iter().all(|p| pois.contains(p)));
+        }
+        assert_eq!(subsample(&pois, 0.5, 9), subsample(&pois, 0.5, 9));
+        assert_eq!(subsample(&pois, 2.0, 9).len(), 1000);
+        assert!(subsample(&pois, 0.0, 9).is_empty());
+    }
+
+    #[test]
+    fn gaussian_samples_have_reasonable_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+}

@@ -1,0 +1,25 @@
+//! Client–server monitoring simulation for meeting-point notification.
+//!
+//! This crate glues the safe-region algorithms (`mpn-core`), the POI index (`mpn-index`) and
+//! the workload generators (`mpn-mobility`) into the monitoring protocol of Fig. 3 and
+//! measures what the paper's evaluation measures:
+//!
+//! * **update frequency** — safe-region recomputations per timestamp,
+//! * **running time** — CPU time per safe-region computation,
+//! * **communication cost** — TCP packets exchanged between clients and the server.
+//!
+//! The main entry point is [`run_monitoring`]; [`experiment::run_workload`] runs a whole
+//! multi-group workload and averages the metrics, which is how every figure of the paper is
+//! reproduced by `mpn-bench`.
+
+#![forbid(unsafe_code)]
+
+pub mod experiment;
+pub mod message;
+pub mod metrics;
+pub mod monitor;
+
+pub use experiment::{run_workload, WorkloadSummary};
+pub use message::{Message, MessageKind, Traffic};
+pub use metrics::MonitoringMetrics;
+pub use monitor::{run_monitoring, MonitorConfig};

@@ -1,0 +1,148 @@
+//! Metrics collected by a monitoring run: the three measures of Section 7.1.
+
+use std::time::Duration;
+
+use mpn_core::ComputeStats;
+
+use crate::message::Traffic;
+
+/// Aggregated metrics of one monitoring run (one user group over one trajectory horizon).
+#[derive(Debug, Clone)]
+pub struct MonitoringMetrics {
+    /// Number of users in the monitored group.
+    pub group_size: usize,
+    /// Number of replayed timestamps after the initial registration.
+    pub timestamps: usize,
+    /// Number of safe-region recomputations (including the initial one).
+    pub updates: usize,
+    /// Total CPU time spent computing safe regions.
+    pub compute_time: Duration,
+    /// Per-update CPU times (used for percentiles in reports).
+    pub update_times: Vec<Duration>,
+    /// Accumulated work counters of every safe-region computation.
+    pub stats: ComputeStats,
+    /// Message and packet tally.
+    pub traffic: Traffic,
+}
+
+impl MonitoringMetrics {
+    /// Creates an empty metrics record for a group of the given size.
+    #[must_use]
+    pub fn new(group_size: usize) -> Self {
+        Self {
+            group_size,
+            timestamps: 0,
+            updates: 0,
+            compute_time: Duration::ZERO,
+            update_times: Vec::new(),
+            stats: ComputeStats::default(),
+            traffic: Traffic::default(),
+        }
+    }
+
+    /// Records one safe-region computation.
+    pub fn record_update(&mut self, elapsed: Duration, stats: &ComputeStats) {
+        self.updates += 1;
+        self.compute_time += elapsed;
+        self.update_times.push(elapsed);
+        self.stats.absorb(stats);
+    }
+
+    /// Update frequency: recomputations per monitored timestamp (the paper's primary measure).
+    #[must_use]
+    pub fn update_frequency(&self) -> f64 {
+        if self.timestamps == 0 {
+            return 0.0;
+        }
+        self.updates as f64 / self.timestamps as f64
+    }
+
+    /// Mean CPU time per safe-region computation.
+    #[must_use]
+    pub fn mean_compute_time(&self) -> Duration {
+        if self.updates == 0 {
+            return Duration::ZERO;
+        }
+        self.compute_time / self.updates as u32
+    }
+
+    /// Total number of TCP packets exchanged.
+    #[must_use]
+    pub fn packets(&self) -> usize {
+        self.traffic.packets
+    }
+
+    /// Packets per monitored timestamp (the communication-cost series of the figures).
+    #[must_use]
+    pub fn packets_per_timestamp(&self) -> f64 {
+        if self.timestamps == 0 {
+            return 0.0;
+        }
+        self.traffic.packets as f64 / self.timestamps as f64
+    }
+
+    /// The `q`-th percentile (0–100) of per-update CPU times.
+    #[must_use]
+    pub fn compute_time_percentile(&self, q: f64) -> Duration {
+        if self.update_times.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.update_times.clone();
+        sorted.sort();
+        let idx = ((q.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx]
+    }
+
+    /// Merges another run's metrics into this one (used to average over user groups).
+    pub fn absorb(&mut self, other: &MonitoringMetrics) {
+        self.timestamps += other.timestamps;
+        self.updates += other.updates;
+        self.compute_time += other.compute_time;
+        self.update_times.extend_from_slice(&other.update_times);
+        self.stats.absorb(&other.stats);
+        self.traffic.absorb(&other.traffic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_and_means_handle_empty_runs() {
+        let m = MonitoringMetrics::new(3);
+        assert_eq!(m.update_frequency(), 0.0);
+        assert_eq!(m.mean_compute_time(), Duration::ZERO);
+        assert_eq!(m.packets_per_timestamp(), 0.0);
+        assert_eq!(m.compute_time_percentile(50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn record_update_accumulates() {
+        let mut m = MonitoringMetrics::new(2);
+        m.timestamps = 10;
+        m.record_update(Duration::from_millis(4), &ComputeStats::default());
+        m.record_update(Duration::from_millis(6), &ComputeStats::default());
+        assert_eq!(m.updates, 2);
+        assert_eq!(m.update_frequency(), 0.2);
+        assert_eq!(m.mean_compute_time(), Duration::from_millis(5));
+        assert_eq!(m.compute_time_percentile(0.0), Duration::from_millis(4));
+        assert_eq!(m.compute_time_percentile(100.0), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn absorb_merges_runs() {
+        let mut a = MonitoringMetrics::new(2);
+        a.timestamps = 100;
+        a.record_update(Duration::from_millis(1), &ComputeStats::default());
+        let mut b = MonitoringMetrics::new(2);
+        b.timestamps = 50;
+        b.record_update(Duration::from_millis(3), &ComputeStats::default());
+        b.record_update(Duration::from_millis(3), &ComputeStats::default());
+        a.absorb(&b);
+        assert_eq!(a.timestamps, 150);
+        assert_eq!(a.updates, 3);
+        assert_eq!(a.update_times.len(), 3);
+        assert!((a.update_frequency() - 0.02).abs() < 1e-12);
+    }
+}

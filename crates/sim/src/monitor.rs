@@ -1,0 +1,241 @@
+//! The client–server monitoring loop.
+//!
+//! [`run_monitoring`] replays a group of trajectories timestamp by timestamp against an
+//! [`MpnServer`] and accounts for every message of the protocol in Fig. 3:
+//!
+//! * at `t = 0` the server computes the initial answer and notifies every user;
+//! * afterwards, whenever at least one user has left her safe region, the violating users
+//!   report their locations (step 1), the server probes the remaining users (step 2), and a
+//!   fresh answer with new safe regions is pushed to everyone (step 3).
+//!
+//! The run records the paper's three measures: update frequency, CPU time per safe-region
+//! computation, and communication cost in packets.
+
+use std::time::Instant;
+
+use mpn_core::{Answer, Method, MpnServer, Objective};
+use mpn_geom::{HeadingPredictor, Point};
+use mpn_index::RTree;
+use mpn_mobility::Trajectory;
+
+use crate::message::{Message, Traffic};
+use crate::metrics::MonitoringMetrics;
+
+/// Configuration of a monitoring run.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// MAX (MPN) or SUM (Sum-MPN) objective.
+    pub objective: Objective,
+    /// Safe-region method (Circle, Tile, Tile-D, Tile-D-b).
+    pub method: Method,
+    /// Whether tile regions are shipped with the lossless compression (the paper's default).
+    pub compress_regions: bool,
+    /// Smoothing factor of the per-user heading predictor feeding the directed ordering.
+    pub heading_smoothing: f64,
+    /// Optional cap on the number of timestamps replayed (useful for quick experiments);
+    /// `None` replays the full common horizon of the group.
+    pub max_timestamps: Option<usize>,
+}
+
+impl MonitorConfig {
+    /// A run with the given objective and method and default remaining settings.
+    #[must_use]
+    pub fn new(objective: Objective, method: Method) -> Self {
+        Self {
+            objective,
+            method,
+            compress_regions: true,
+            heading_smoothing: 0.3,
+            max_timestamps: None,
+        }
+    }
+
+    /// Limits the number of replayed timestamps.
+    #[must_use]
+    pub fn with_max_timestamps(mut self, limit: usize) -> Self {
+        self.max_timestamps = Some(limit);
+        self
+    }
+}
+
+/// Replays one user group against the server and collects metrics.
+///
+/// # Panics
+/// Panics when the group is empty or the POI tree is empty.
+#[must_use]
+pub fn run_monitoring(tree: &RTree, group: &[Trajectory], config: &MonitorConfig) -> MonitoringMetrics {
+    assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+    assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
+
+    let horizon = group.iter().map(Trajectory::len).min().unwrap_or(0);
+    let horizon = config.max_timestamps.map_or(horizon, |cap| horizon.min(cap));
+    let server = MpnServer::new(tree, config.objective, config.method);
+
+    let mut metrics = MonitoringMetrics::new(group.len());
+    let mut traffic = Traffic::default();
+    let mut predictors: Vec<HeadingPredictor> =
+        group.iter().map(|_| HeadingPredictor::new(config.heading_smoothing)).collect();
+
+    // Initial computation at t = 0: every user reports her location once and receives the
+    // first answer (this is the query registration, counted like any other update).
+    let mut locations: Vec<Point> = group.iter().map(|t| t.at(0)).collect();
+    for predictor in predictors.iter_mut().zip(&locations) {
+        predictor.0.observe(*predictor.1);
+    }
+    for _ in group {
+        traffic.record(Message::location_report());
+    }
+    let mut answer = compute_update(&server, &locations, &predictors, &mut metrics);
+    for region in &answer.regions {
+        traffic.record(Message::result_notification(region, config.compress_regions));
+    }
+
+    for t in 1..horizon {
+        metrics.timestamps += 1;
+        locations.clear();
+        locations.extend(group.iter().map(|traj| traj.at(t)));
+        for (predictor, loc) in predictors.iter_mut().zip(&locations) {
+            predictor.observe(*loc);
+        }
+
+        let violators = answer.violators(&locations);
+        if violators.is_empty() {
+            continue;
+        }
+        // Step 1: each violating user reports her location.
+        for _ in &violators {
+            traffic.record(Message::location_report());
+        }
+        // Step 2: the server probes every other user, who replies.
+        let others = group.len() - violators.len();
+        for _ in 0..others {
+            traffic.record(Message::probe());
+            traffic.record(Message::probe_reply());
+        }
+        // Step 3: recompute and notify everyone.
+        answer = compute_update(&server, &locations, &predictors, &mut metrics);
+        for region in &answer.regions {
+            traffic.record(Message::result_notification(region, config.compress_regions));
+        }
+    }
+
+    metrics.traffic = traffic;
+    metrics
+}
+
+fn compute_update(
+    server: &MpnServer<'_>,
+    locations: &[Point],
+    predictors: &[HeadingPredictor],
+    metrics: &mut MonitoringMetrics,
+) -> Answer {
+    let headings: Vec<Option<f64>> = predictors.iter().map(HeadingPredictor::predicted).collect();
+    let start = Instant::now();
+    let answer = server.compute_with_headings(locations, Some(&headings));
+    let elapsed = start.elapsed();
+    metrics.record_update(elapsed, &answer.stats);
+    debug_assert!(answer.all_inside(locations), "fresh safe regions must contain the users");
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpn_mobility::waypoint::{random_waypoint, WaypointConfig};
+    use mpn_mobility::poi::{clustered_pois, PoiConfig};
+
+    fn workload() -> (RTree, Vec<Trajectory>) {
+        let pois = clustered_pois(
+            &PoiConfig { count: 800, domain: 1000.0, ..PoiConfig::default() },
+            11,
+        );
+        let tree = RTree::bulk_load(&pois);
+        let config = WaypointConfig { domain: 1000.0, speed_limit: 6.0, timestamps: 400 };
+        let group: Vec<Trajectory> = (0..3).map(|i| random_waypoint(&config, 50 + i)).collect();
+        (tree, group)
+    }
+
+    #[test]
+    fn monitoring_produces_consistent_metrics() {
+        let (tree, group) = workload();
+        let metrics = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Max, Method::circle()),
+        );
+        assert_eq!(metrics.timestamps, 399);
+        assert!(metrics.updates >= 1, "the initial computation counts as an update");
+        assert!(metrics.updates <= metrics.timestamps + 1);
+        assert!(metrics.traffic.packets > 0);
+        assert!(metrics.traffic.messages >= metrics.updates * group.len());
+        assert!(metrics.mean_compute_time().as_nanos() > 0);
+        assert!(metrics.update_frequency() <= 1.0);
+    }
+
+    #[test]
+    fn tile_regions_reduce_update_frequency_compared_to_circles() {
+        let (tree, group) = workload();
+        let circle = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(250),
+        );
+        let tile = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Max, Method::tile()).with_max_timestamps(250),
+        );
+        assert!(
+            tile.updates <= circle.updates,
+            "tile-based regions must not trigger more updates (tile {}, circle {})",
+            tile.updates,
+            circle.updates
+        );
+    }
+
+    #[test]
+    fn sum_objective_monitoring_runs_end_to_end() {
+        let (tree, group) = workload();
+        let metrics = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Sum, Method::tile()).with_max_timestamps(150),
+        );
+        assert!(metrics.updates >= 1);
+        assert!(metrics.traffic.packets > 0);
+    }
+
+    #[test]
+    fn buffered_method_is_cheaper_per_update_in_index_work() {
+        let (tree, group) = workload();
+        let plain = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Max, Method::tile_directed(0.8)).with_max_timestamps(120),
+        );
+        let buffered = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Max, Method::tile_directed_buffered(0.8, 50))
+                .with_max_timestamps(120),
+        );
+        let plain_queries_per_update = plain.stats.rtree_queries as f64 / plain.updates as f64;
+        let buffered_queries_per_update =
+            buffered.stats.rtree_queries as f64 / buffered.updates as f64;
+        assert!(
+            buffered_queries_per_update < plain_queries_per_update,
+            "buffering must reduce R-tree queries per update ({buffered_queries_per_update} vs {plain_queries_per_update})"
+        );
+    }
+
+    #[test]
+    fn max_timestamp_cap_limits_the_run() {
+        let (tree, group) = workload();
+        let metrics = run_monitoring(
+            &tree,
+            &group,
+            &MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(50),
+        );
+        assert_eq!(metrics.timestamps, 49);
+    }
+}

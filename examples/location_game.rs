@@ -1,0 +1,61 @@
+//! Location-based game scenario (Tourality-style, Section 1).
+//!
+//! A team of players moves along a road network and must converge on one of the geographically
+//! defined spots as fast as possible.  The server continuously reports the best rendezvous
+//! spot under the MAX objective (the spot the slowest player can reach soonest) and uses
+//! independent safe regions to avoid flooding the players with updates.
+//!
+//! Run with: `cargo run --release --example location_game`
+
+use mpn::core::{Method, MpnServer, Objective};
+use mpn::index::RTree;
+use mpn::mobility::network::{NetworkConfig, RoadNetwork};
+use mpn::mobility::poi::uniform_pois;
+use mpn::mobility::Trajectory;
+use mpn::sim::{run_monitoring, MonitorConfig};
+
+fn main() {
+    // Game spots scattered uniformly over the map.
+    let spots = uniform_pois(500, 8_000.0, 77);
+    let tree = RTree::bulk_load(&spots);
+
+    // A road network and a team of four players of different speed classes.
+    let net_config = NetworkConfig { domain: 8_000.0, timestamps: 1_200, ..NetworkConfig::default() };
+    let network = RoadNetwork::generate(&net_config, 5);
+    let team: Vec<Trajectory> = (0..4).map(|i| network.trajectory(300 + i as u64, i)).collect();
+
+    println!("== Location-based game: team rendezvous ==\n");
+    println!(
+        "road network: {} nodes / {} edges   spots: {}   players: {}\n",
+        network.node_count(),
+        network.edge_count(),
+        tree.len(),
+        team.len()
+    );
+
+    // Snapshot query at the start of the game.
+    let start: Vec<_> = team.iter().map(|t| t.at(0)).collect();
+    let server = MpnServer::new(&tree, Objective::Max, Method::tile_directed(0.8));
+    let answer = server.compute(&start);
+    println!(
+        "initial rendezvous: spot #{} at {}, worst-case travel distance {:.0}\n",
+        answer.optimal_index, answer.optimal_point, answer.optimal_dist
+    );
+
+    // Continuous monitoring during the whole game.
+    println!("{:<10} {:>10} {:>14} {:>18}", "method", "updates", "update freq", "packets/timestamp");
+    for (label, method) in [
+        ("Circle", Method::circle()),
+        ("Tile-D", Method::tile_directed(0.8)),
+        ("Tile-D-b", Method::tile_directed_buffered(0.8, 100)),
+    ] {
+        let metrics = run_monitoring(&tree, &team, &MonitorConfig::new(Objective::Max, method));
+        println!(
+            "{:<10} {:>10} {:>14.4} {:>18.3}",
+            label,
+            metrics.updates,
+            metrics.update_frequency(),
+            metrics.packets_per_timestamp()
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Quickstart: compute the optimal meeting point and safe regions for a small group.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mpn::core::{Method, MpnServer, Objective};
+use mpn::geom::Point;
+use mpn::index::RTree;
+
+fn main() {
+    // A handful of cafes in a small town.
+    let cafes = vec![
+        Point::new(200.0, 180.0),
+        Point::new(850.0, 300.0),
+        Point::new(500.0, 920.0),
+        Point::new(400.0, 400.0),
+        Point::new(650.0, 650.0),
+    ];
+    let tree = RTree::bulk_load(&cafes);
+
+    // Three friends at their current locations.
+    let friends = vec![
+        Point::new(150.0, 250.0),
+        Point::new(420.0, 300.0),
+        Point::new(300.0, 520.0),
+    ];
+
+    println!("== Meeting point notification quickstart ==\n");
+    for (label, method) in [
+        ("Circle safe regions", Method::circle()),
+        ("Tile safe regions", Method::tile()),
+    ] {
+        let server = MpnServer::new(&tree, Objective::Max, method);
+        let answer = server.compute(&friends);
+        println!("{label}:");
+        println!(
+            "  optimal meeting point: cafe #{} at {} (worst-case walk {:.1})",
+            answer.optimal_index, answer.optimal_point, answer.optimal_dist
+        );
+        for (i, region) in answer.regions.iter().enumerate() {
+            println!(
+                "  friend {i}: safe region payload = {} values, still inside: {}",
+                region.uncompressed_value_count(),
+                region.contains(friends[i])
+            );
+        }
+        println!();
+    }
+
+    // As long as everyone stays inside their region, no communication is needed.
+    let server = MpnServer::new(&tree, Objective::Max, Method::tile());
+    let answer = server.compute(&friends);
+    let mut moved = friends.clone();
+    moved[0] = Point::new(180.0, 270.0); // a small move
+    println!(
+        "after a small move, recomputation needed: {}",
+        !answer.all_inside(&moved)
+    );
+    moved[0] = Point::new(900.0, 900.0); // a big move
+    println!(
+        "after a big move, recomputation needed:  {} (violators: {:?})",
+        !answer.all_inside(&moved),
+        answer.violators(&moved)
+    );
+}

@@ -1,0 +1,167 @@
+//! Cross-crate integration tests: the full pipeline from workload generation through the
+//! monitoring protocol, checking the paper's qualitative claims end to end.
+
+use mpn::core::{Method, MpnServer, Objective};
+use mpn::index::RTree;
+use mpn::mobility::network::{NetworkConfig, RoadNetwork};
+use mpn::mobility::poi::{clustered_pois, PoiConfig};
+use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
+use mpn::mobility::Trajectory;
+use mpn::sim::{run_monitoring, MonitorConfig};
+
+fn poi_tree(count: usize, domain: f64, seed: u64) -> RTree {
+    let pois = clustered_pois(&PoiConfig { count, domain, ..PoiConfig::default() }, seed);
+    RTree::bulk_load(&pois)
+}
+
+fn taxi_group(m: usize, domain: f64, timestamps: usize, seed: u64) -> Vec<Trajectory> {
+    let config = TaxiConfig { domain, speed_limit: 8.0, timestamps, ..TaxiConfig::default() };
+    (0..m).map(|i| taxi_trajectory(&config, seed + i as u64)).collect()
+}
+
+#[test]
+fn monitoring_never_misses_a_meeting_point_change() {
+    // Replays a workload under every method and re-derives the optimum by brute force at every
+    // timestamp where the users are still inside their safe regions: the stored answer must
+    // still be optimal (within floating-point tolerance).  This is the end-to-end version of
+    // Definition 3.
+    let tree = poi_tree(400, 2_000.0, 5);
+    let pois: Vec<_> = tree.iter().map(|e| e.location).collect();
+    let group = taxi_group(3, 2_000.0, 250, 40);
+
+    for objective in [Objective::Max, Objective::Sum] {
+        for method in [Method::circle(), Method::tile(), Method::tile_directed(0.8)] {
+            let server = MpnServer::new(&tree, objective, method);
+            let mut locations: Vec<_> = group.iter().map(|t| t.at(0)).collect();
+            let mut answer = server.compute(&locations);
+            for t in 1..250 {
+                locations.clear();
+                locations.extend(group.iter().map(|traj| traj.at(t)));
+                if answer.all_inside(&locations) {
+                    // No update is triggered: the old answer must still be optimal.
+                    let agg = |p| objective.aggregate().point_dist(p, &locations);
+                    let best = pois.iter().map(|p| agg(*p)).fold(f64::INFINITY, f64::min);
+                    let held = agg(answer.optimal_point);
+                    assert!(
+                        held <= best + 1e-6,
+                        "{objective:?}/{}: stale answer at t={t} ({held} > {best})",
+                        method.name()
+                    );
+                } else {
+                    answer = server.compute(&locations);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_methods_send_fewer_updates_than_circle_on_both_workload_kinds() {
+    let tree = poi_tree(1_000, 4_000.0, 9);
+
+    // GeoLife-like workload.
+    let taxi = taxi_group(3, 4_000.0, 400, 60);
+    // Oldenburg-like workload.
+    let net = RoadNetwork::generate(
+        &NetworkConfig { domain: 4_000.0, timestamps: 400, ..NetworkConfig::default() },
+        3,
+    );
+    let network_group: Vec<Trajectory> = (0..3).map(|i| net.trajectory(800 + i, i as usize)).collect();
+
+    for group in [&taxi, &network_group] {
+        let circle = run_monitoring(&tree, group, &MonitorConfig::new(Objective::Max, Method::circle()));
+        let tile = run_monitoring(&tree, group, &MonitorConfig::new(Objective::Max, Method::tile()));
+        let tile_d = run_monitoring(
+            &tree,
+            group,
+            &MonitorConfig::new(Objective::Max, Method::tile_directed(std::f64::consts::FRAC_PI_4)),
+        );
+        assert!(
+            tile.updates <= circle.updates,
+            "Tile should not need more updates than Circle ({} vs {})",
+            tile.updates,
+            circle.updates
+        );
+        assert!(
+            tile_d.updates <= circle.updates,
+            "Tile-D should not need more updates than Circle ({} vs {})",
+            tile_d.updates,
+            circle.updates
+        );
+        // Communication cost follows update frequency thanks to compression.
+        assert!(tile.packets() <= circle.packets() * 3);
+    }
+}
+
+#[test]
+fn buffering_cuts_index_work_but_barely_changes_update_frequency() {
+    let tree = poi_tree(1_500, 4_000.0, 21);
+    let group = taxi_group(3, 4_000.0, 300, 11);
+    let theta = std::f64::consts::FRAC_PI_4;
+
+    let plain = run_monitoring(
+        &tree,
+        &group,
+        &MonitorConfig::new(Objective::Max, Method::tile_directed(theta)),
+    );
+    let buffered = run_monitoring(
+        &tree,
+        &group,
+        &MonitorConfig::new(Objective::Max, Method::tile_directed_buffered(theta, 100)),
+    );
+
+    let plain_q = plain.stats.rtree_queries as f64 / plain.updates as f64;
+    let buffered_q = buffered.stats.rtree_queries as f64 / buffered.updates as f64;
+    assert!(
+        buffered_q < plain_q / 2.0,
+        "buffering should cut R-tree queries per update at least in half ({buffered_q:.1} vs {plain_q:.1})"
+    );
+    // With b = 100 the update frequency should stay in the same ballpark (the paper reports it
+    // converging to the unbuffered frequency).
+    assert!(
+        buffered.updates as f64 <= plain.updates as f64 * 2.0 + 5.0,
+        "buffered update count exploded: {} vs {}",
+        buffered.updates,
+        plain.updates
+    );
+}
+
+#[test]
+fn sum_and_max_objectives_can_disagree_and_are_both_served() {
+    let tree = poi_tree(600, 3_000.0, 33);
+    // A skewed group: three users clustered, one far away, which is where MAX and SUM optima
+    // typically diverge.
+    let users = vec![
+        mpn::geom::Point::new(500.0, 500.0),
+        mpn::geom::Point::new(620.0, 540.0),
+        mpn::geom::Point::new(480.0, 650.0),
+        mpn::geom::Point::new(2_700.0, 2_500.0),
+    ];
+    let max_answer = MpnServer::new(&tree, Objective::Max, Method::tile()).compute(&users);
+    let sum_answer = MpnServer::new(&tree, Objective::Sum, Method::tile()).compute(&users);
+
+    // Verify each optimum against brute force on its own objective.
+    let pois: Vec<_> = tree.iter().map(|e| e.location).collect();
+    let best_max = pois
+        .iter()
+        .map(|p| Objective::Max.aggregate().point_dist(*p, &users))
+        .fold(f64::INFINITY, f64::min);
+    let best_sum = pois
+        .iter()
+        .map(|p| Objective::Sum.aggregate().point_dist(*p, &users))
+        .fold(f64::INFINITY, f64::min);
+    assert!((max_answer.optimal_dist - best_max).abs() < 1e-6);
+    assert!((sum_answer.optimal_dist - best_sum).abs() < 1e-6);
+}
+
+#[test]
+fn compressed_and_uncompressed_runs_agree_on_updates() {
+    let tree = poi_tree(500, 2_000.0, 71);
+    let group = taxi_group(3, 2_000.0, 200, 19);
+    let base = MonitorConfig::new(Objective::Max, Method::tile());
+    let compressed = run_monitoring(&tree, &group, &base);
+    let plain = run_monitoring(&tree, &group, &MonitorConfig { compress_regions: false, ..base });
+    // Compression only affects packet counts, never the protocol behaviour.
+    assert_eq!(compressed.updates, plain.updates);
+    assert!(compressed.packets() <= plain.packets());
+}

@@ -1,0 +1,71 @@
+//! Regression tests for concrete inputs that once exposed bugs (found by the property tests).
+
+use mpn::core::{Method, MpnServer, Objective, SafeRegion};
+use mpn::geom::Point;
+use mpn::index::RTree;
+
+/// Three almost-collinear POIs with two users on opposite sides: found by proptest as a case
+/// where an over-eager tile acceptance changed the optimum.
+#[test]
+fn proptest_shrink_three_pois_two_users() {
+    let pois = vec![
+        Point::new(349.4986285023622, 609.9421413229721),
+        Point::new(515.9105723892488, 538.6541063647203),
+        Point::new(632.605792614647, 589.7641942564205),
+    ];
+    let users = vec![
+        Point::new(130.31996032774566, 964.2313484724282),
+        Point::new(891.0914317358817, 330.375238791278),
+    ];
+    let tree = RTree::bulk_load(&pois);
+
+    for objective in [Objective::Max, Objective::Sum] {
+        let answer = MpnServer::new(&tree, objective, Method::tile()).compute(&users);
+        eprintln!(
+            "{objective:?}: optimal {} regions sizes {:?}",
+            answer.optimal_index,
+            answer
+                .regions
+                .iter()
+                .map(|r| match r {
+                    SafeRegion::Tiles(t) => t.len(),
+                    SafeRegion::Circle(_) => 0,
+                })
+                .collect::<Vec<_>>()
+        );
+        // Exhaustively sample a fine grid of every region pair and assert the optimum holds.
+        let regions: Vec<&SafeRegion> = answer.regions.iter().collect();
+        let grids: Vec<Vec<Point>> = regions
+            .iter()
+            .map(|r| {
+                let SafeRegion::Tiles(tiles) = r else { panic!("expected tiles") };
+                let mut pts = Vec::new();
+                for sq in tiles.squares() {
+                    let rect = sq.to_rect();
+                    for i in 0..=4 {
+                        for j in 0..=4 {
+                            pts.push(Point::new(
+                                rect.lo.x + rect.width() * f64::from(i) / 4.0,
+                                rect.lo.y + rect.height() * f64::from(j) / 4.0,
+                            ));
+                        }
+                    }
+                }
+                pts
+            })
+            .collect();
+        for l0 in &grids[0] {
+            for l1 in &grids[1] {
+                let instance = [*l0, *l1];
+                let agg = |p: Point| objective.aggregate().point_dist(p, &instance);
+                let best = pois.iter().map(|p| agg(*p)).fold(f64::INFINITY, f64::min);
+                assert!(
+                    agg(answer.optimal_point) <= best + 1e-6,
+                    "{objective:?}: optimum changed at instance ({l0}, {l1}): held {} vs best {}",
+                    agg(answer.optimal_point),
+                    best
+                );
+            }
+        }
+    }
+}

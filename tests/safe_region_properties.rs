@@ -1,0 +1,134 @@
+//! Property-based tests of the central safe-region invariant (Definition 3) across the whole
+//! stack: for randomly generated POI sets, user groups and methods, no location instance drawn
+//! from the computed safe regions may change the optimal meeting point.
+
+use mpn::core::{Method, MpnServer, Objective, SafeRegion};
+use mpn::geom::Point;
+use mpn::index::RTree;
+use proptest::prelude::*;
+
+fn arb_point(domain: f64) -> impl Strategy<Value = Point> {
+    (0.0..domain, 0.0..domain).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_pois(domain: f64) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(arb_point(domain), 2..40)
+}
+
+fn arb_users(domain: f64) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(arb_point(domain), 2..5)
+}
+
+/// Samples a location inside a safe region using two unit parameters.
+fn sample_in_region(region: &SafeRegion, u: f64, v: f64) -> Point {
+    match region {
+        SafeRegion::Circle(c) => {
+            let angle = u * std::f64::consts::TAU;
+            let radius = c.radius * v.sqrt();
+            Point::new(c.center.x + radius * angle.cos(), c.center.y + radius * angle.sin())
+        }
+        SafeRegion::Tiles(tiles) => {
+            let squares = tiles.squares();
+            let idx = ((u * squares.len() as f64) as usize).min(squares.len() - 1);
+            let rect = squares[idx].to_rect();
+            Point::new(rect.lo.x + rect.width() * v, rect.lo.y + rect.height() * (1.0 - u))
+        }
+    }
+}
+
+fn check_invariant(
+    pois: &[Point],
+    users: &[Point],
+    objective: Objective,
+    method: Method,
+    samples: &[(f64, f64)],
+) -> Result<(), TestCaseError> {
+    let tree = RTree::bulk_load(pois);
+    let server = MpnServer::new(&tree, objective, method);
+    let answer = server.compute(users);
+    prop_assert_eq!(answer.regions.len(), users.len());
+    prop_assert!(answer.all_inside(users));
+
+    for &(u, v) in samples {
+        let instance: Vec<Point> = answer
+            .regions
+            .iter()
+            .map(|region| sample_in_region(region, u, v))
+            .collect();
+        for (region, l) in answer.regions.iter().zip(&instance) {
+            prop_assert!(region.contains(*l), "sampled location escaped its region");
+        }
+        let agg = |p: Point| objective.aggregate().point_dist(p, &instance);
+        let best = pois.iter().map(|p| agg(*p)).fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            agg(answer.optimal_point) <= best + 1e-6,
+            "optimum changed for a location instance inside the safe regions"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn circle_regions_uphold_definition_3(
+        pois in arb_pois(1_000.0),
+        users in arb_users(1_000.0),
+        samples in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8),
+    ) {
+        for objective in [Objective::Max, Objective::Sum] {
+            check_invariant(&pois, &users, objective, Method::circle(), &samples)?;
+        }
+    }
+
+    #[test]
+    fn tile_regions_uphold_definition_3(
+        pois in arb_pois(1_000.0),
+        users in arb_users(1_000.0),
+        samples in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 8),
+    ) {
+        for objective in [Objective::Max, Objective::Sum] {
+            check_invariant(&pois, &users, objective, Method::tile(), &samples)?;
+        }
+    }
+
+    #[test]
+    fn directed_and_buffered_tiles_uphold_definition_3(
+        pois in arb_pois(1_000.0),
+        users in arb_users(1_000.0),
+        samples in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 6),
+    ) {
+        check_invariant(
+            &pois,
+            &users,
+            Objective::Max,
+            Method::tile_directed(std::f64::consts::FRAC_PI_4),
+            &samples,
+        )?;
+        check_invariant(
+            &pois,
+            &users,
+            Objective::Max,
+            Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 10),
+            &samples,
+        )?;
+    }
+
+    #[test]
+    fn compression_round_trips_arbitrary_tile_regions(
+        pois in arb_pois(1_000.0),
+        users in arb_users(1_000.0),
+    ) {
+        let tree = RTree::bulk_load(&pois);
+        let answer = MpnServer::new(&tree, Objective::Max, Method::tile()).compute(&users);
+        for region in &answer.regions {
+            if let SafeRegion::Tiles(tiles) = region {
+                let encoded = mpn::core::CompressedTileRegion::encode(tiles).unwrap();
+                let decoded = encoded.decode();
+                prop_assert_eq!(decoded.cells(), tiles.cells());
+                prop_assert!(encoded.value_count() <= 4 + tiles.len().div_ceil(2));
+            }
+        }
+    }
+}
