@@ -1,20 +1,26 @@
-//! Criterion micro-benchmarks and ablations.
+//! Micro-benchmarks and ablations (criterion-free).
 //!
-//! These complement the figure binaries with per-operation timings:
+//! The build environment has no network access, so instead of criterion this is a plain
+//! `harness = false` binary with a small measurement loop: per benchmark it warms up, then
+//! reports the mean, median and p95 over a fixed wall-clock budget.  Run with
+//! `cargo bench -p mpn-bench` (optionally `MPN_MICRO_MS=500` to change the per-benchmark
+//! budget, `MPN_MICRO_FILTER=tile` to run a subset).
 //!
-//! * safe-region computation cost per method (Circle vs Tile vs Tile-D vs Tile-D-b),
+//! Covered timings:
+//!
+//! * safe-region computation cost per engine (Circle vs Tile vs Tile-D vs Tile-D-b),
+//! * stateful vs stateless Tile-D-b sessions (the §5.4 buffer-reuse win),
 //! * GT-Verify vs IT-Verify (the grouping optimisation of Section 5.3),
 //! * index pruning on/off (Theorem 3),
 //! * R-tree GNN query cost,
 //! * tile-region compression encode/decode throughput.
-#![allow(missing_docs)] // criterion's macros generate undocumented entry points
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use mpn_core::{
-    circle_msr, tile_msr, CompressedTileRegion, Method, MpnServer, Objective, TileMsrConfig,
-    VerifierKind, DEFAULT_RADIUS_CAP,
+    circle_msr, tile_msr, CompressedTileRegion, EngineContext, Method, MpnServer, Objective,
+    SessionState, TileMsrConfig, VerifierKind, DEFAULT_RADIUS_CAP,
 };
 use mpn_geom::Point;
 use mpn_index::{Aggregate, GnnSearch, RTree};
@@ -31,105 +37,151 @@ fn users(m: usize) -> Vec<Point> {
         .collect()
 }
 
-fn bench_safe_region_methods(c: &mut Criterion) {
-    let tree = poi_tree(8_000);
-    let group = users(3);
-    let mut g = c.benchmark_group("safe_region_computation");
-    g.sample_size(20);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    let methods = [
-        ("circle", Method::circle()),
-        ("tile", Method::tile()),
-        ("tile_directed", Method::tile_directed(std::f64::consts::FRAC_PI_4)),
-        ("tile_directed_buffered", Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 100)),
-    ];
-    for (name, method) in methods {
-        let server = MpnServer::new(&tree, Objective::Max, method);
-        g.bench_function(name, |b| b.iter(|| black_box(server.compute(black_box(&group)))));
+/// Runs `f` repeatedly for the configured budget and prints mean / median / p95.
+fn bench<T>(name: &str, budget: Duration, filter: &str, mut f: impl FnMut() -> T) {
+    if !name.contains(filter) {
+        return;
     }
-    for (name, method) in [("sum_tile", Method::tile()), ("sum_circle", Method::circle())] {
-        let server = MpnServer::new(&tree, Objective::Sum, method);
-        g.bench_function(name, |b| b.iter(|| black_box(server.compute(black_box(&group)))));
+    // Warm-up: a tenth of the budget.
+    let warm_until = Instant::now() + budget / 10;
+    while Instant::now() < warm_until {
+        black_box(f());
     }
-    g.finish();
+    let mut samples: Vec<Duration> = Vec::new();
+    let run_until = Instant::now() + budget;
+    // Do-while: always take at least one sample, even with a zero budget.
+    loop {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed());
+        if Instant::now() >= run_until {
+            break;
+        }
+    }
+    samples.sort();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let median = samples[samples.len() / 2];
+    let p95 = samples[(samples.len() as f64 * 0.95) as usize..][0];
+    println!(
+        "{name:<42} {:>10.1} us mean  {:>10.1} us median  {:>10.1} us p95  ({} iters)",
+        mean.as_secs_f64() * 1e6,
+        median.as_secs_f64() * 1e6,
+        p95.as_secs_f64() * 1e6,
+        samples.len()
+    );
 }
 
-fn bench_verifier_ablation(c: &mut Criterion) {
-    let tree = poi_tree(4_000);
-    let group = users(3);
-    let mut g = c.benchmark_group("verifier_ablation");
-    g.sample_size(10);
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(3));
-    for (name, verifier) in [("gt_verify", VerifierKind::Gt), ("it_verify", VerifierKind::It)] {
-        let config = TileMsrConfig { verifier, alpha: 10, ..TileMsrConfig::default() };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(tile_msr(&tree, &group, Objective::Max, &config, None)))
-        });
-    }
-    for (name, pruning) in [("pruning_on", true), ("pruning_off", false)] {
-        let config = TileMsrConfig { index_pruning: pruning, alpha: 10, ..TileMsrConfig::default() };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(tile_msr(&tree, &group, Objective::Max, &config, None)))
-        });
-    }
-    g.finish();
-}
+fn main() {
+    let budget = Duration::from_millis(
+        std::env::var("MPN_MICRO_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(1_000),
+    );
+    let filter = std::env::var("MPN_MICRO_FILTER").unwrap_or_default();
+    let b = |name: &str, f: &mut dyn FnMut()| bench(name, budget, &filter, f);
 
-fn bench_gnn_queries(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gnn_query");
-    g.warm_up_time(std::time::Duration::from_millis(500));
-    g.measurement_time(std::time::Duration::from_secs(2));
+    println!("# mpn micro-benchmarks (budget {budget:?}/bench)\n");
+
+    // Safe-region computation per engine.
+    {
+        let tree = poi_tree(8_000);
+        let group = users(3);
+        let methods = [
+            ("safe_region/circle", Method::circle()),
+            ("safe_region/tile", Method::tile()),
+            ("safe_region/tile_directed", Method::tile_directed(std::f64::consts::FRAC_PI_4)),
+            (
+                "safe_region/tile_directed_buffered",
+                Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 100),
+            ),
+        ];
+        for (name, method) in methods {
+            let server = MpnServer::new(&tree, Objective::Max, method);
+            b(name, &mut || {
+                black_box(server.compute(black_box(&group)));
+            });
+        }
+        for (name, method) in
+            [("safe_region/sum_tile", Method::tile()), ("safe_region/sum_circle", Method::circle())]
+        {
+            let server = MpnServer::new(&tree, Objective::Sum, method);
+            b(name, &mut || {
+                black_box(server.compute(black_box(&group)));
+            });
+        }
+    }
+
+    // Stateful session vs stateless recomputation for the buffered engine.
+    {
+        let tree = poi_tree(8_000);
+        let group = users(3);
+        let method = Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 100);
+        let engine = method.engine();
+        let ctx = EngineContext::new(&tree, Objective::Max);
+        b("session/tile_d_b_stateless", &mut || {
+            black_box(engine.compute_stateless(ctx, black_box(&group), None));
+        });
+        let mut session = SessionState::new(group.len(), 0.3).with_persistent_buffers(true);
+        session.observe(&group);
+        black_box(engine.compute(ctx, &group, &mut session)); // prime the buffer
+        b("session/tile_d_b_persistent", &mut || {
+            black_box(engine.compute(ctx, black_box(&group), &mut session));
+        });
+    }
+
+    // Verifier and pruning ablations.
+    {
+        let tree = poi_tree(4_000);
+        let group = users(3);
+        for (name, verifier) in
+            [("ablation/gt_verify", VerifierKind::Gt), ("ablation/it_verify", VerifierKind::It)]
+        {
+            let config = TileMsrConfig { verifier, alpha: 10, ..TileMsrConfig::default() };
+            b(name, &mut || {
+                black_box(tile_msr(&tree, &group, Objective::Max, &config, None));
+            });
+        }
+        for (name, pruning) in [("ablation/pruning_on", true), ("ablation/pruning_off", false)] {
+            let config =
+                TileMsrConfig { index_pruning: pruning, alpha: 10, ..TileMsrConfig::default() };
+            b(name, &mut || {
+                black_box(tile_msr(&tree, &group, Objective::Max, &config, None));
+            });
+        }
+    }
+
+    // GNN query cost by data-set size.
     for n in [2_000usize, 8_000, 21_287] {
         let tree = poi_tree(n);
         let group = users(3);
         for agg in [Aggregate::Max, Aggregate::Sum] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("top2_{}", agg.name()), n),
-                &n,
-                |b, _| {
-                    b.iter(|| black_box(GnnSearch::new(&tree, &group, agg).top_k(2)))
-                },
-            );
+            let name = format!("gnn/top2_{}_{n}", agg.name());
+            bench(&name, budget, &filter, || {
+                black_box(GnnSearch::new(&tree, &group, agg).top_k(2));
+            });
         }
     }
-    g.finish();
-}
 
-fn bench_circle_radius(c: &mut Criterion) {
-    let tree = poi_tree(21_287);
-    let group = users(5);
-    c.bench_function("circle_msr_21k_pois", |b| {
-        b.iter(|| black_box(circle_msr(&tree, &group, Objective::Max, DEFAULT_RADIUS_CAP)))
-    });
-}
+    // Circle-MSR at the paper's data-set size.
+    {
+        let tree = poi_tree(21_287);
+        let group = users(5);
+        b("circle_msr/21k_pois", &mut || {
+            black_box(circle_msr(&tree, &group, Objective::Max, DEFAULT_RADIUS_CAP));
+        });
+    }
 
-fn bench_compression(c: &mut Criterion) {
-    let tree = poi_tree(8_000);
-    let group = users(3);
-    let out = tile_msr(&tree, &group, Objective::Max, &TileMsrConfig::default(), None);
-    let region = out
-        .regions
-        .iter()
-        .max_by_key(|r| r.len())
-        .expect("at least one region")
-        .clone();
-    let encoded = CompressedTileRegion::encode(&region).expect("encodable");
-    let mut g = c.benchmark_group("compression");
-    g.bench_function("encode", |b| {
-        b.iter(|| black_box(CompressedTileRegion::encode(black_box(&region)).unwrap()))
-    });
-    g.bench_function("decode", |b| b.iter(|| black_box(encoded.decode())));
-    g.finish();
+    // Tile-region compression.
+    {
+        let tree = poi_tree(8_000);
+        let group = users(3);
+        let out = tile_msr(&tree, &group, Objective::Max, &TileMsrConfig::default(), None);
+        let region =
+            out.regions.iter().max_by_key(|r| r.len()).expect("at least one region").clone();
+        let encoded = CompressedTileRegion::encode(&region).expect("encodable");
+        b("compression/encode", &mut || {
+            black_box(CompressedTileRegion::encode(black_box(&region)).unwrap());
+        });
+        b("compression/decode", &mut || {
+            black_box(encoded.decode());
+        });
+    }
 }
-
-criterion_group!(
-    benches,
-    bench_safe_region_methods,
-    bench_verifier_ablation,
-    bench_gnn_queries,
-    bench_circle_radius,
-    bench_compression
-);
-criterion_main!(benches);

@@ -4,10 +4,10 @@
 
 use mpn_bench::params::Scale;
 use mpn_bench::{build_poi_tree, build_workload, TrajectoryKind};
-use mpn_core::region::{TileCell, TileFrame, TileRegion};
+use mpn_core::region::{TileFrame, TileRegion};
 use mpn_core::tile_verify::{GtVerifier, TileVerifier};
 use mpn_core::{circle_msr, tile_msr, Objective, TileMsrConfig, DEFAULT_RADIUS_CAP};
-use mpn_geom::{max_dist_to_set, DistanceBounds};
+use mpn_geom::max_dist_to_set;
 
 fn main() {
     let scale = Scale::from_env();
@@ -73,9 +73,10 @@ fn main() {
         let mut oracle_valid = 0;
         for cell in mpn_core::ordering::ring_cells(1) {
             let square = frame.square(cell);
-            let gt_ok = tree.iter().filter(|e| e.location != p_opt).all(|e| {
-                GtVerifier.verify(&seeds, user, &square, e.location, e.id, p_opt)
-            });
+            let gt_ok = tree
+                .iter()
+                .filter(|e| e.location != p_opt)
+                .all(|e| GtVerifier.verify(&seeds, user, &square, e.location, e.id, p_opt));
             // Brute-force: sample corners of every region/tile and check the optimum holds.
             let mut valid = true;
             'outer: for c0 in corner_samples(&seeds, 0, user, &square) {

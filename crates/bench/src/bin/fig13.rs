@@ -2,7 +2,9 @@
 //! running time on the GeoLife-like and Oldenburg-like workloads).
 
 use mpn_bench::params::{Scale, GROUP_SIZES};
-use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_bench::{
+    build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind,
+};
 use mpn_core::Objective;
 
 fn main() {

@@ -1,7 +1,9 @@
 //! Figure 14: MPN, effect of the data size `n` (as a fraction of the full POI set `N`).
 
 use mpn_bench::params::{Scale, DATA_FRACTIONS, DEFAULT_GROUP_SIZE};
-use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_bench::{
+    build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind,
+};
 use mpn_core::Objective;
 
 fn main() {
@@ -17,6 +19,10 @@ fn main() {
                 rows.push((format!("{fraction}"), spec.label, summary));
             }
         }
-        print_series(&format!("Figure 14 ({}) — vary data size n", kind.name()), "n_fraction", &rows);
+        print_series(
+            &format!("Figure 14 ({}) — vary data size n", kind.name()),
+            "n_fraction",
+            &rows,
+        );
     }
 }

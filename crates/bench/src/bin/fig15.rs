@@ -1,7 +1,9 @@
 //! Figure 15: MPN, effect of the user speed (as a fraction of the speed limit `V`).
 
 use mpn_bench::params::{Scale, DEFAULT_GROUP_SIZE, SPEED_FRACTIONS};
-use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_bench::{
+    build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind,
+};
 use mpn_core::Objective;
 
 fn main() {
@@ -17,6 +19,10 @@ fn main() {
                 rows.push((format!("{speed}"), spec.label, summary));
             }
         }
-        print_series(&format!("Figure 15 ({}) — vary user speed", kind.name()), "speed_fraction", &rows);
+        print_series(
+            &format!("Figure 15 ({}) — vary user speed", kind.name()),
+            "speed_fraction",
+            &rows,
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Figure 17: Sum-MPN, effect of the user group size `m`.
 
 use mpn_bench::params::{Scale, GROUP_SIZES};
-use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_bench::{
+    build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind,
+};
 use mpn_core::Objective;
 
 fn main() {

@@ -1,7 +1,9 @@
 //! Figure 18: Sum-MPN, effect of the data size `n`.
 
 use mpn_bench::params::{Scale, DATA_FRACTIONS, DEFAULT_GROUP_SIZE};
-use mpn_bench::{build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind};
+use mpn_bench::{
+    build_poi_tree, build_workload, method_suite, print_series, run_cell, TrajectoryKind,
+};
 use mpn_core::Objective;
 
 fn main() {

@@ -5,7 +5,9 @@ use mpn_index::RTree;
 use mpn_mobility::network::{NetworkConfig, RoadNetwork};
 use mpn_mobility::poi::{clustered_pois, subsample, PoiConfig};
 use mpn_mobility::waypoint::{taxi_trajectory, TaxiConfig};
-use mpn_mobility::{partition_into_groups, GroupWorkload, Trajectory, DEFAULT_DOMAIN, DEFAULT_SPEED_LIMIT};
+use mpn_mobility::{
+    partition_into_groups, GroupWorkload, Trajectory, DEFAULT_DOMAIN, DEFAULT_SPEED_LIMIT,
+};
 
 use crate::params::Scale;
 
@@ -39,7 +41,8 @@ impl TrajectoryKind {
 /// (the "vary data size n" axis).
 #[must_use]
 pub fn build_poi_tree(scale: Scale, fraction: f64, seed: u64) -> RTree {
-    let config = PoiConfig { count: scale.poi_count(), domain: DEFAULT_DOMAIN, ..PoiConfig::default() };
+    let config =
+        PoiConfig { count: scale.poi_count(), domain: DEFAULT_DOMAIN, ..PoiConfig::default() };
     let pois: Vec<Point> = clustered_pois(&config, seed);
     let kept = subsample(&pois, fraction, seed ^ 0x5eed);
     RTree::bulk_load(&kept)
@@ -67,9 +70,7 @@ pub fn build_workload(
                 timestamps,
                 ..TaxiConfig::default()
             };
-            (0..total)
-                .map(|i| taxi_trajectory(&config, seed.wrapping_add(i as u64)))
-                .collect()
+            (0..total).map(|i| taxi_trajectory(&config, seed.wrapping_add(i as u64))).collect()
         }
         TrajectoryKind::Oldenburg => {
             let config = NetworkConfig {
@@ -80,7 +81,9 @@ pub fn build_workload(
             };
             let network = RoadNetwork::generate(&config, seed);
             (0..total)
-                .map(|i| network.trajectory(seed.wrapping_add(1000 + i as u64), i % config.speed_classes))
+                .map(|i| {
+                    network.trajectory(seed.wrapping_add(1000 + i as u64), i % config.speed_classes)
+                })
                 .collect()
         }
     };

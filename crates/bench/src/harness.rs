@@ -31,10 +31,7 @@ pub fn method_suite() -> Vec<MethodSpec> {
 pub fn buffering_suite(b: usize) -> Vec<MethodSpec> {
     vec![
         MethodSpec { label: "Tile-D", method: Method::tile_directed(DEFAULT_THETA) },
-        MethodSpec {
-            label: "Tile-D-b",
-            method: Method::tile_directed_buffered(DEFAULT_THETA, b),
-        },
+        MethodSpec { label: "Tile-D-b", method: Method::tile_directed_buffered(DEFAULT_THETA, b) },
     ]
 }
 
@@ -60,7 +57,9 @@ pub fn run_cell(
 /// `rows` holds `(x_label, method_label, summary)` triples in print order.
 pub fn print_series(figure: &str, x_name: &str, rows: &[(String, &'static str, WorkloadSummary)]) {
     println!("# {figure}");
-    println!("{x_name},method,update_frequency,packets_per_timestamp,mean_time_us,updates_per_group");
+    println!(
+        "{x_name},method,update_frequency,packets_per_timestamp,mean_time_us,updates_per_group"
+    );
     for (x, label, summary) in rows {
         println!(
             "{x},{label},{:.6},{:.4},{:.1},{:.1}",

@@ -1,0 +1,230 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment of this workspace has no network access, so the external `rand`
+//! crate cannot be fetched.  This crate re-implements exactly the API surface the workspace
+//! uses — `StdRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range` and `Rng::gen_bool` — on top
+//! of the SplitMix64 generator.  The streams differ from upstream `rand`'s ChaCha-based
+//! `StdRng`, which is fine here: every consumer generates *synthetic* workloads whose tests
+//! assert statistical shape and determinism, never exact values.
+//!
+//! The generator is deterministic per seed, so workloads remain reproducible across runs and
+//! platforms.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable random number generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the generator's native output.
+pub trait Standard: Sized {
+    /// Draws one value from the "standard" distribution (`[0, 1)` for floats).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled uniformly (subset of `rand::distributions::uniform`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up onto the excluded endpoint.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // Use 53 bits over the closed interval.
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                // Multiply-shift rejection-free mapping; bias is < 2^-64 * span, negligible
+                // for the workload sizes used here.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                // Widen to u128 so `hi == MAX` cannot overflow the span.
+                let span = u128::from((hi - lo) as u64) + 1;
+                let offset = ((u128::from(rng.next_u64()) * span) >> 64) as u64;
+                lo + offset as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+/// The raw generator interface (subset of `rand::RngCore`).
+pub trait RngCore {
+    /// Produces the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling helpers (subset of `rand::Rng`), blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Namespaced generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    ///
+    /// Small, fast, passes BigCrush for the statistical properties the synthetic workload
+    /// generators rely on, and — unlike upstream's ChaCha `StdRng` — trivially auditable.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Avoid the all-zero fixed point and decorrelate small seeds.
+            Self { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.gen_range(2.0..5.0);
+            assert!((2.0..5.0).contains(&y));
+            let z = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn int_ranges_hit_every_bucket() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        for _ in 0..5_000 {
+            counts[rng.gen_range(0..5usize)] += 1;
+        }
+        for c in counts {
+            assert!(c > 500, "bucket starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_handle_type_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(u64::MAX - 3..=u64::MAX);
+            assert!(x >= u64::MAX - 3);
+            let _ = rng.gen_range(0u64..=u64::MAX);
+            let y = rng.gen_range(usize::MAX - 1..=usize::MAX);
+            assert!(y >= usize::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn mean_of_unit_floats_is_centred() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mean: f64 = (0..50_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 50_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

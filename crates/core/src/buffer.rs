@@ -38,11 +38,8 @@ impl BufferSet {
             Objective::Max => 2.0,
             Objective::Sum => 2.0 * users.len() as f64,
         };
-        let thresholds: Vec<f64> = neighbors
-            .iter()
-            .skip(1)
-            .map(|n| ((n.dist - best) / denom).max(0.0))
-            .collect();
+        let thresholds: Vec<f64> =
+            neighbors.iter().skip(1).map(|n| ((n.dist - best) / denom).max(0.0)).collect();
         let entries = neighbors.into_iter().map(|n| n.entry).collect();
         Self { entries, thresholds, stats }
     }
@@ -96,9 +93,8 @@ mod tests {
     use mpn_geom::max_dist_to_set;
 
     fn world() -> (RTree, Vec<Point>) {
-        let pois: Vec<Point> = (0..20)
-            .map(|i| Point::new(f64::from(i % 5) * 3.0, f64::from(i / 5) * 3.0))
-            .collect();
+        let pois: Vec<Point> =
+            (0..20).map(|i| Point::new(f64::from(i % 5) * 3.0, f64::from(i / 5) * 3.0)).collect();
         let users = vec![Point::new(1.0, 1.0), Point::new(4.0, 2.0), Point::new(2.0, 5.0)];
         (RTree::bulk_load(&pois), users)
     }
@@ -112,7 +108,8 @@ mod tests {
             assert!(w[0] <= w[1] + 1e-12);
         }
         // β_z = (‖p_{z+1}, U‖max − ‖pᵒ, U‖max) / 2 against a brute-force ranking.
-        let mut dists: Vec<f64> = tree.iter().map(|e| max_dist_to_set(e.location, &users)).collect();
+        let mut dists: Vec<f64> =
+            tree.iter().map(|e| max_dist_to_set(e.location, &users)).collect();
         dists.sort_by(f64::total_cmp);
         for z in 1..=5 {
             let expected = (dists[z] - dists[0]) / 2.0;
@@ -155,7 +152,7 @@ mod tests {
         let po = buf.optimal();
         for z in 1..=buf.slots() {
             let cands = buf.candidates(z);
-            assert!(cands.len() <= z.saturating_sub(1).max(0) + 1);
+            assert!(cands.len() <= z.max(1));
             assert!(cands.iter().all(|c| c.id != po.id));
         }
         assert_eq!(buf.all_candidates().len(), 8);

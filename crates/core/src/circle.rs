@@ -156,10 +156,7 @@ mod tests {
                         )));
                     }
                     let agg = |p: Point| objective.aggregate().point_dist(p, &moved);
-                    let best = pois
-                        .iter()
-                        .map(|p| agg(*p))
-                        .fold(f64::INFINITY, f64::min);
+                    let best = pois.iter().map(|p| agg(*p)).fold(f64::INFINITY, f64::min);
                     let current = agg(out.optimal.entry.location);
                     assert!(
                         current <= best + 1e-9,

@@ -146,15 +146,9 @@ mod tests {
 
     fn sample_region() -> TileRegion {
         let mut r = TileRegion::with_seed(TileFrame::centered_at(Point::new(3.0, -2.0), 1.5));
-        for (level, ix, iy) in [
-            (0, 1, 0),
-            (0, -1, 2),
-            (1, 3, -2),
-            (2, -5, 7),
-            (3, 11, 11),
-            (0, 4, -4),
-            (1, 0, 5),
-        ] {
+        for (level, ix, iy) in
+            [(0, 1, 0), (0, -1, 2), (1, 3, -2), (2, -5, 7), (3, 11, 11), (0, 4, -4), (1, 0, 5)]
+        {
             r.push(TileCell::new(level, ix, iy));
         }
         r

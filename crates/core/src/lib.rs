@@ -20,7 +20,22 @@
 //! | §6 Alg. 6, Thm. 5–7 | the sum-optimal variant | [`tile_verify::SumVerifier`], [`circle`], [`buffer`] |
 //! | §7.1 packet model | lossless tile-region compression | [`compress`] |
 //!
-//! The entry point for most users is [`MpnServer`]:
+//! # Architecture: engines and sessions
+//!
+//! Computation is dispatched through the open [`SafeRegionEngine`] trait ([`engine`]):
+//! [`CircleEngine`] and [`TileEngine`] implement the two families above, and new region
+//! families plug in by implementing the trait — neither [`MpnServer`] nor the monitoring
+//! layer in `mpn-sim` enumerates them.  [`Method`] remains as a plain *description* of a
+//! configuration that resolves to an engine via [`Method::engine`].
+//!
+//! The paper's server is stateful: between updates for the same group it keeps the per-user
+//! heading predictors, the §5.4 GNN buffer and the last answer.  [`SessionState`]
+//! ([`session`]) carries exactly that state through
+//! [`SafeRegionEngine::compute`](engine::SafeRegionEngine::compute) /
+//! [`MpnServer::compute_session`], so with persistent buffers enabled a `Tile-D-b` update
+//! typically issues **one** R-tree query (the Circle-MSR seed) instead of two.
+//!
+//! The entry point for one-shot queries is [`MpnServer`]:
 //!
 //! ```
 //! use mpn_core::{Method, MpnServer, Objective};
@@ -41,9 +56,11 @@
 pub mod buffer;
 pub mod circle;
 pub mod compress;
+pub mod engine;
 pub mod ordering;
 pub mod region;
 pub mod server;
+pub mod session;
 pub mod tile;
 pub mod tile_verify;
 pub mod verify;
@@ -51,10 +68,12 @@ pub mod verify;
 pub use buffer::BufferSet;
 pub use circle::{circle_msr, CircleMsr, DEFAULT_RADIUS_CAP};
 pub use compress::{packets_for_values, CompressedTileRegion, VALUES_PER_PACKET};
+pub use engine::{CircleEngine, EngineContext, SafeRegionEngine, TileEngine};
 pub use ordering::TileOrdering;
 pub use region::{SafeRegion, TileCell, TileFrame, TileRegion};
 pub use server::{Answer, Method, MpnServer};
-pub use tile::{tile_msr, TileMsr, TileMsrConfig};
+pub use session::SessionState;
+pub use tile::{tile_msr, tile_msr_cached, BufferCache, TileMsr, TileMsrConfig};
 pub use tile_verify::VerifierKind;
 
 use mpn_index::{Aggregate, QueryStats};

@@ -144,9 +144,7 @@ pub fn ring_cells(layer: i32) -> Vec<TileCell> {
     // Counter-clockwise order starting from the east direction (angle 0), matching Fig. 8.
     cells.sort_by(|a, b| {
         let ang = |c: &TileCell| {
-            f64::from(c.iy)
-                .atan2(f64::from(c.ix))
-                .rem_euclid(2.0 * std::f64::consts::PI)
+            f64::from(c.iy).atan2(f64::from(c.ix)).rem_euclid(2.0 * std::f64::consts::PI)
         };
         ang(a).total_cmp(&ang(b))
     });

@@ -153,19 +153,13 @@ impl TileRegion {
     /// Minimum distance from `p` to the region: `‖p, Rᵢ‖min` (∞ for an empty region).
     #[must_use]
     pub fn min_dist(&self, p: Point) -> f64 {
-        self.squares
-            .iter()
-            .map(|s| s.min_dist(p))
-            .fold(f64::INFINITY, f64::min)
+        self.squares.iter().map(|s| s.min_dist(p)).fold(f64::INFINITY, f64::min)
     }
 
     /// Maximum distance from `p` to the region: `‖p, Rᵢ‖max` (−∞ for an empty region).
     #[must_use]
     pub fn max_dist(&self, p: Point) -> f64 {
-        self.squares
-            .iter()
-            .map(|s| s.max_dist(p))
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.squares.iter().map(|s| s.max_dist(p)).fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Total area covered (tiles never overlap by construction, so the sum is exact).

@@ -4,13 +4,23 @@
 //! (Circle-MSR or a Tile-MSR configuration) behind a single `compute` call that returns the
 //! optimal meeting point plus one safe region per user — exactly the reply of "Step 3" in the
 //! system architecture of Fig. 3.
+//!
+//! Dispatch is open: [`Method`] is only a *description* of a configuration; the actual
+//! computation is performed by the [`SafeRegionEngine`](crate::engine::SafeRegionEngine) the
+//! description resolves to via [`Method::engine`].  New safe-region families plug in by
+//! implementing the trait — the server and the monitoring layer never enumerate them.  For
+//! continuous monitoring, [`MpnServer::compute_session`] threads a per-group
+//! [`SessionState`] through the engine so heading predictors and §5.4 GNN buffers persist
+//! across updates.
 
 use mpn_geom::Point;
 use mpn_index::RTree;
 
-use crate::circle::{circle_msr, DEFAULT_RADIUS_CAP};
+use crate::circle::DEFAULT_RADIUS_CAP;
+use crate::engine::{CircleEngine, EngineContext, SafeRegionEngine, TileEngine};
 use crate::region::SafeRegion;
-use crate::tile::{tile_msr, TileMsrConfig};
+use crate::session::SessionState;
+use crate::tile::TileMsrConfig;
 use crate::{ComputeStats, Objective};
 
 /// The safe-region method used by the server.
@@ -55,12 +65,19 @@ impl Method {
     pub fn name(&self) -> &'static str {
         match self {
             Method::Circle { .. } => "Circle",
-            Method::Tile(cfg) => match (cfg.ordering, cfg.buffering) {
-                (crate::ordering::TileOrdering::Undirected, None) => "Tile",
-                (crate::ordering::TileOrdering::Undirected, Some(_)) => "Tile-b",
-                (crate::ordering::TileOrdering::Directed { .. }, None) => "Tile-D",
-                (crate::ordering::TileOrdering::Directed { .. }, Some(_)) => "Tile-D-b",
-            },
+            Method::Tile(cfg) => cfg.name(),
+        }
+    }
+
+    /// Resolves this description to the engine that implements it.
+    ///
+    /// The two built-in families map to [`CircleEngine`] and [`TileEngine`]; callers that
+    /// bring their own [`SafeRegionEngine`] implementation can bypass `Method` entirely.
+    #[must_use]
+    pub fn engine(&self) -> Box<dyn SafeRegionEngine> {
+        match self {
+            Method::Circle { radius_cap } => Box::new(CircleEngine::new(*radius_cap)),
+            Method::Tile(config) => Box::new(TileEngine::new(*config)),
         }
     }
 }
@@ -82,19 +99,30 @@ pub struct Answer {
 
 impl Answer {
     /// Whether every user in `locations` is still inside her safe region.
+    ///
+    /// A `locations` slice of the wrong length is *not* inside: the answer describes a
+    /// specific group, so a different group size can never satisfy it.
     #[must_use]
     pub fn all_inside(&self, locations: &[Point]) -> bool {
         locations.len() == self.regions.len()
-            && self
-                .regions
-                .iter()
-                .zip(locations)
-                .all(|(region, l)| region.contains(*l))
+            && self.regions.iter().zip(locations).all(|(region, l)| region.contains(*l))
     }
 
     /// Indices of the users that have left their safe regions.
+    ///
+    /// # Contract
+    /// `locations` must hold exactly one location per user, in the order of the `users` slice
+    /// the answer was computed for (`locations.len() == self.regions.len()`).  Unlike
+    /// [`Answer::all_inside`], which treats a length mismatch as "not inside", this method has
+    /// no sensible lenient reading — a silently truncating `zip` would report the tail users
+    /// as compliant — so the contract is asserted in debug builds.
     #[must_use]
     pub fn violators(&self, locations: &[Point]) -> Vec<usize> {
+        debug_assert_eq!(
+            locations.len(),
+            self.regions.len(),
+            "violators requires one location per safe region"
+        );
         self.regions
             .iter()
             .zip(locations)
@@ -106,18 +134,22 @@ impl Answer {
 }
 
 /// Server-side safe-region computation bound to a POI index.
-#[derive(Debug, Clone, Copy)]
+///
+/// The engine is resolved from the method once at construction and reused for every query
+/// (`compute` sits in hot loops, so no per-call boxing).
+#[derive(Debug)]
 pub struct MpnServer<'a> {
     tree: &'a RTree,
     objective: Objective,
     method: Method,
+    engine: Box<dyn SafeRegionEngine>,
 }
 
 impl<'a> MpnServer<'a> {
     /// Creates a server over the POI tree.
     #[must_use]
     pub fn new(tree: &'a RTree, objective: Objective, method: Method) -> Self {
-        Self { tree, objective, method }
+        Self { tree, objective, method, engine: method.engine() }
     }
 
     /// The configured objective.
@@ -152,31 +184,27 @@ impl<'a> MpnServer<'a> {
         users: &[Point],
         headings: Option<&[Option<f64>]>,
     ) -> Answer {
-        match self.method {
-            Method::Circle { radius_cap } => {
-                let out = circle_msr(self.tree, users, self.objective, radius_cap);
-                let mut stats = ComputeStats::default();
-                stats.gnn.absorb(out.stats);
-                stats.rtree_queries = 1;
-                Answer {
-                    optimal_index: out.optimal.entry.id,
-                    optimal_point: out.optimal.entry.location,
-                    optimal_dist: out.optimal.dist,
-                    regions: out.regions.into_iter().map(SafeRegion::Circle).collect(),
-                    stats,
-                }
-            }
-            Method::Tile(config) => {
-                let out = tile_msr(self.tree, users, self.objective, &config, headings);
-                Answer {
-                    optimal_index: out.optimal.entry.id,
-                    optimal_point: out.optimal.entry.location,
-                    optimal_dist: out.optimal.dist,
-                    regions: out.regions.into_iter().map(SafeRegion::Tiles).collect(),
-                    stats: out.stats,
-                }
-            }
-        }
+        self.engine.compute_stateless(self.context(), users, headings)
+    }
+
+    /// Stateful computation for continuous monitoring: reads the predicted headings from the
+    /// session, lets the engine reuse any persistent state (e.g. the §5.4 GNN buffer) and
+    /// records the answer back into the session.
+    ///
+    /// The answer is owned by the session (also available as [`SessionState::last_answer`])
+    /// and borrowed back, so no per-update copy of the region vectors is made.  Callers must
+    /// have fed the current locations to [`SessionState::observe`] first.
+    #[must_use]
+    pub fn compute_session<'s>(
+        &self,
+        users: &[Point],
+        session: &'s mut SessionState,
+    ) -> &'s Answer {
+        self.engine.compute(self.context(), users, session)
+    }
+
+    fn context(&self) -> EngineContext<'a> {
+        EngineContext::new(self.tree, self.objective)
     }
 }
 
@@ -185,9 +213,8 @@ mod tests {
     use super::*;
 
     fn world() -> (RTree, Vec<Point>) {
-        let pois: Vec<Point> = (0..49)
-            .map(|i| Point::new(f64::from(i % 7) * 4.0, f64::from(i / 7) * 4.0))
-            .collect();
+        let pois: Vec<Point> =
+            (0..49).map(|i| Point::new(f64::from(i % 7) * 4.0, f64::from(i / 7) * 4.0)).collect();
         let users = vec![Point::new(9.0, 9.0), Point::new(13.0, 11.0), Point::new(10.0, 14.0)];
         (RTree::bulk_load(&pois), users)
     }

@@ -1,0 +1,161 @@
+//! Per-group session state threaded through the safe-region engines.
+//!
+//! The monitoring server of the paper is *stateful*: between two safe-region computations for
+//! the same group it keeps the per-user heading predictors feeding the directed tile ordering
+//! (Section 5.2), the §5.4 GNN buffer so its prefix ladder can be reused instead of rebuilt,
+//! and the last [`Answer`] against which violations are detected.  [`SessionState`] bundles
+//! exactly that state; a [`SafeRegionEngine`](crate::engine::SafeRegionEngine) receives it
+//! mutably on every [`compute`](crate::engine::SafeRegionEngine::compute) so the state
+//! survives across updates instead of being rebuilt from scratch.
+
+use mpn_geom::{HeadingPredictor, Point};
+
+use crate::server::Answer;
+use crate::tile::BufferCache;
+
+/// Mutable per-group state owned by the server between safe-region computations.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    predictors: Vec<HeadingPredictor>,
+    persist_buffers: bool,
+    buffer: Option<BufferCache>,
+    buffer_builds: usize,
+    last_answer: Option<Answer>,
+}
+
+impl SessionState {
+    /// Creates the state for a group of `group_size` users.
+    ///
+    /// `smoothing` is the exponential-smoothing factor of the per-user heading predictors
+    /// (the monitoring default is 0.3).
+    ///
+    /// # Panics
+    /// Panics when `group_size` is zero.
+    #[must_use]
+    pub fn new(group_size: usize, smoothing: f64) -> Self {
+        assert!(group_size > 0, "a session needs at least one user");
+        Self {
+            predictors: (0..group_size).map(|_| HeadingPredictor::new(smoothing)).collect(),
+            persist_buffers: false,
+            buffer: None,
+            buffer_builds: 0,
+            last_answer: None,
+        }
+    }
+
+    /// Enables or disables reuse of the §5.4 GNN buffer across updates.
+    ///
+    /// Disabled (the default), every tile computation rebuilds its buffer exactly like the
+    /// stateless one-shot API, which keeps legacy monitoring runs bit-identical.  Enabled, the
+    /// engine keeps the buffer alive between updates and only rebuilds it when the optimal
+    /// meeting point moves or the group strays too far from the buffer's anchor locations,
+    /// trading slightly smaller safe regions for roughly half the R-tree queries per update.
+    #[must_use]
+    pub fn with_persistent_buffers(mut self, enabled: bool) -> Self {
+        self.persist_buffers = enabled;
+        self
+    }
+
+    /// Number of users in the group this session tracks.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.predictors.len()
+    }
+
+    /// Feeds the users' current locations into the heading predictors.
+    ///
+    /// Call once per timestamp, *before* [`SafeRegionEngine::compute`]
+    /// (crate::engine::SafeRegionEngine::compute) so the directed ordering sees up-to-date
+    /// headings.
+    ///
+    /// # Panics
+    /// Panics when `locations` does not have one entry per user.
+    pub fn observe(&mut self, locations: &[Point]) {
+        assert_eq!(locations.len(), self.predictors.len(), "one location per user is required");
+        for (predictor, location) in self.predictors.iter_mut().zip(locations) {
+            predictor.observe(*location);
+        }
+    }
+
+    /// The predicted heading of every user (`None` until a user has moved).
+    #[must_use]
+    pub fn predicted_headings(&self) -> Vec<Option<f64>> {
+        self.predictors.iter().map(HeadingPredictor::predicted).collect()
+    }
+
+    /// The answer of the most recent safe-region computation, if any.
+    #[must_use]
+    pub fn last_answer(&self) -> Option<&Answer> {
+        self.last_answer.as_ref()
+    }
+
+    /// How many times the *persistent* GNN buffer has been (re)built in this session.
+    ///
+    /// With persistent buffers enabled this stays well below the number of updates.  Without
+    /// persistence the engines go through the stateless path, whose throwaway buffers are not
+    /// tracked, so the counter stays 0.
+    #[must_use]
+    pub fn buffer_builds(&self) -> usize {
+        self.buffer_builds
+    }
+
+    /// Whether a buffered prefix is currently cached.
+    #[must_use]
+    pub fn has_cached_buffer(&self) -> bool {
+        self.buffer.is_some()
+    }
+
+    /// Stores the answer of a completed computation and returns a reference to it (called by
+    /// the engines).  Taking the answer by value avoids cloning the per-user region vectors
+    /// on every update — the legacy loop kept a single answer by value, and this sits inside
+    /// the section whose duration is reported as the paper's "CPU time per computation".
+    pub(crate) fn record_answer(&mut self, answer: Answer) -> &Answer {
+        self.last_answer.insert(answer)
+    }
+
+    /// The persistent buffer slot, or `None` when persistence is disabled.
+    ///
+    /// Engines pass the inner `Option<BufferCache>` to the cache-aware tile computation; a
+    /// count of builds is kept for diagnostics.
+    pub(crate) fn buffer_slot_mut(&mut self) -> Option<&mut Option<BufferCache>> {
+        self.persist_buffers.then_some(&mut self.buffer)
+    }
+
+    /// Bumps the build counter (called by the engines when a computation built a new buffer).
+    pub(crate) fn count_buffer_builds(&mut self, builds: usize) {
+        self.buffer_builds += builds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_drives_the_heading_predictors() {
+        let mut session = SessionState::new(2, 0.5);
+        assert_eq!(session.group_size(), 2);
+        assert_eq!(session.predicted_headings(), vec![None, None]);
+        session.observe(&[Point::new(0.0, 0.0), Point::new(5.0, 5.0)]);
+        session.observe(&[Point::new(1.0, 0.0), Point::new(5.0, 6.0)]);
+        let headings = session.predicted_headings();
+        assert!((headings[0].unwrap() - 0.0).abs() < 1e-12, "user 0 heads east");
+        assert!((headings[1].unwrap() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one location per user")]
+    fn observe_rejects_wrong_group_size() {
+        let mut session = SessionState::new(3, 0.3);
+        session.observe(&[Point::ORIGIN]);
+    }
+
+    #[test]
+    fn buffer_slot_respects_the_persistence_flag() {
+        let mut off = SessionState::new(1, 0.3);
+        assert!(off.buffer_slot_mut().is_none());
+        let mut on = SessionState::new(1, 0.3).with_persistent_buffers(true);
+        assert!(on.buffer_slot_mut().is_some());
+        assert!(!on.has_cached_buffer());
+    }
+}

@@ -56,6 +56,17 @@ impl TileMsrConfig {
         Self::default()
     }
 
+    /// Legend name of this configuration (`Tile`, `Tile-b`, `Tile-D`, `Tile-D-b`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match (self.ordering, self.buffering) {
+            (TileOrdering::Undirected, None) => "Tile",
+            (TileOrdering::Undirected, Some(_)) => "Tile-b",
+            (TileOrdering::Directed { .. }, None) => "Tile-D",
+            (TileOrdering::Directed { .. }, Some(_)) => "Tile-D-b",
+        }
+    }
+
     /// The paper's `Tile-D` configuration: directed ordering with deviation `theta`.
     #[must_use]
     pub fn tile_directed(theta: f64) -> Self {
@@ -65,11 +76,58 @@ impl TileMsrConfig {
     /// The paper's `Tile-D-b` configuration: directed ordering plus buffering with parameter `b`.
     #[must_use]
     pub fn tile_directed_buffered(theta: f64, b: usize) -> Self {
-        Self {
-            ordering: TileOrdering::Directed { theta },
-            buffering: Some(b),
-            ..Self::default()
-        }
+        Self { ordering: TileOrdering::Directed { theta }, buffering: Some(b), ..Self::default() }
+    }
+}
+
+/// A §5.4 GNN buffer together with the user locations it was built at.
+///
+/// The threshold ladder of a [`BufferSet`] bounds how far each user may stray *from the
+/// locations at build time*; anchoring the reuse check (and the per-tile distance of
+/// Algorithm 5, line 1) to those locations keeps Theorem 4/7 sound when the buffer outlives
+/// the computation that built it.  A stateful session
+/// ([`SessionState`](crate::session::SessionState)) keeps one cache per group so that
+/// subsequent updates skip the buffer-building GNN query entirely.
+#[derive(Debug, Clone)]
+pub struct BufferCache {
+    pub(crate) set: BufferSet,
+    pub(crate) anchors: Vec<Point>,
+    /// The objective the threshold ladder was derived under (the SUM denominator is `2m`,
+    /// the MAX one `2`, so a ladder is only valid for its own objective).
+    objective: Objective,
+    /// The buffering parameter `b` the set was built with.
+    b: usize,
+    /// [`RTree::generation`] of the tree the buffer was queried from: a process-unique stamp
+    /// refreshed on every construction and mutation, so a different or modified tree is
+    /// detected exactly, never probabilistically.
+    tree_generation: u64,
+}
+
+impl BufferCache {
+    /// Whether this buffer may serve a computation for the given current state.
+    ///
+    /// Reuse is allowed only when the cache was built for the same POI tree, objective and
+    /// buffer size, the group shape is unchanged, the optimal meeting point is still the one
+    /// the ladder was derived from, and no user has strayed beyond half the largest threshold
+    /// from her anchor location (a heuristic that rebuilds before the ladder degenerates into
+    /// rejecting every tile).
+    fn reusable_for(
+        &self,
+        tree: &RTree,
+        users: &[Point],
+        objective: Objective,
+        b: usize,
+        optimal_id: usize,
+    ) -> bool {
+        self.tree_generation == tree.generation()
+            && self.objective == objective
+            && self.b == b
+            && self.anchors.len() == users.len()
+            && self.set.optimal().id == optimal_id
+            && users
+                .iter()
+                .zip(&self.anchors)
+                .all(|(u, anchor)| u.dist(*anchor) <= 0.5 * self.set.beta())
     }
 }
 
@@ -86,6 +144,9 @@ pub struct TileMsr {
     pub regions: Vec<TileRegion>,
     /// Work counters accumulated while computing the regions.
     pub stats: ComputeStats,
+    /// Whether this computation built a fresh §5.4 GNN buffer (always `false` without
+    /// buffering; `true` on every call when no cache is reused).
+    pub built_buffer: bool,
 }
 
 /// Runs Tile-MSR (Algorithm 3) for the given group.
@@ -103,6 +164,29 @@ pub fn tile_msr(
     config: &TileMsrConfig,
     headings: Option<&[Option<f64>]>,
 ) -> TileMsr {
+    tile_msr_cached(tree, users, objective, config, headings, &mut None)
+}
+
+/// Runs Tile-MSR with an optional persistent buffer cache.
+///
+/// When `config.buffering` is enabled and `cache` holds a [`BufferCache`] that is still valid
+/// for the current locations and optimum, the buffered GNN query of Section 5.4 is skipped and
+/// the cached prefix is verified against instead (its thresholds stay anchored to the
+/// build-time locations, so Theorem 4/7 still hold).  An invalid or absent cache is rebuilt in
+/// place.  Passing `&mut None` (what [`tile_msr`] does) builds a fresh buffer and discards it,
+/// which is bit-identical to the historical stateless behaviour.
+///
+/// # Panics
+/// Panics when the tree or the user group is empty.
+#[must_use]
+pub fn tile_msr_cached(
+    tree: &RTree,
+    users: &[Point],
+    objective: Objective,
+    config: &TileMsrConfig,
+    headings: Option<&[Option<f64>]>,
+    cache: &mut Option<BufferCache>,
+) -> TileMsr {
     assert!(!tree.is_empty(), "Tile-MSR requires a non-empty POI set");
     assert!(!users.is_empty(), "Tile-MSR requires at least one user");
     if let Some(h) = headings {
@@ -118,10 +202,8 @@ pub fn tile_msr(
     let delta = std::f64::consts::SQRT_2 * seed.radius;
 
     // Lines 3-4: one seed tile per user.
-    let mut regions: Vec<TileRegion> = users
-        .iter()
-        .map(|u| TileRegion::with_seed(TileFrame::centered_at(*u, delta)))
-        .collect();
+    let mut regions: Vec<TileRegion> =
+        users.iter().map(|u| TileRegion::with_seed(TileFrame::centered_at(*u, delta))).collect();
 
     // Degenerate seed (the two best meeting points are equidistant): the safe regions collapse
     // to the users' current locations and no browsing can grow them.
@@ -132,18 +214,35 @@ pub fn tile_msr(
             radius: seed.radius,
             regions,
             stats,
+            built_buffer: false,
         };
     }
 
     let p_opt = seed.optimal.entry;
 
-    // Optional buffering: one extra GNN query replaces all later candidate retrievals.
-    let buffer = config.buffering.map(|b| {
-        let buf = BufferSet::build(tree, users, objective, b);
-        stats.gnn.absorb(buf.stats);
-        stats.rtree_queries += 1;
-        buf
-    });
+    // Optional buffering: one extra GNN query replaces all later candidate retrievals.  A
+    // still-valid persistent cache skips even that query.
+    let mut built_buffer = false;
+    let buffer: Option<&BufferCache> = if let Some(b) = config.buffering {
+        let reusable =
+            cache.as_ref().is_some_and(|c| c.reusable_for(tree, users, objective, b, p_opt.id));
+        if !reusable {
+            let set = BufferSet::build(tree, users, objective, b);
+            stats.gnn.absorb(set.stats);
+            stats.rtree_queries += 1;
+            built_buffer = true;
+            *cache = Some(BufferCache {
+                set,
+                anchors: users.to_vec(),
+                objective,
+                b,
+                tree_generation: tree.generation(),
+            });
+        }
+        cache.as_ref()
+    } else {
+        None
+    };
 
     let mut verifier: Box<dyn TileVerifier> = match (objective, config.verifier) {
         (Objective::Sum, _) => Box::new(SumVerifier::new(users.len())),
@@ -174,7 +273,7 @@ pub fn tile_msr(
                     p_opt,
                     objective,
                     config,
-                    buffer.as_ref(),
+                    buffer,
                     verifier.as_mut(),
                     &mut stats,
                 );
@@ -192,6 +291,7 @@ pub fn tile_msr(
         radius: seed.radius,
         regions,
         stats,
+        built_buffer,
     }
 }
 
@@ -207,18 +307,18 @@ fn try_tile(
     p_opt: PoiEntry,
     objective: Objective,
     config: &TileMsrConfig,
-    buffer: Option<&BufferSet>,
+    buffer: Option<&BufferCache>,
     verifier: &mut dyn TileVerifier,
     stats: &mut ComputeStats,
 ) -> bool {
-    if let Some(buf) = buffer {
+    if let Some(cache) = buffer {
         buffered_divide_verify(
-            users,
+            &cache.anchors,
             regions,
             user,
             cell,
             p_opt,
-            buf,
+            &cache.set,
             config.split_level,
             verifier,
             stats,
@@ -280,9 +380,13 @@ pub(crate) fn divide_verify(
 
 /// Buffer-Divide-Verify (Algorithm 5): pick the smallest buffered slot covering the current
 /// region extent, verify only against that candidate prefix, and subdivide on failure.
+///
+/// `anchors` are the user locations *at buffer-build time*: the threshold ladder of Theorem 4
+/// / Theorem 7 bounds distances from those, so a reused buffer must keep measuring against
+/// them (for a freshly built buffer they equal the current locations).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn buffered_divide_verify(
-    users: &[Point],
+    anchors: &[Point],
     regions: &mut [TileRegion],
     user: usize,
     cell: TileCell,
@@ -293,12 +397,12 @@ pub(crate) fn buffered_divide_verify(
     stats: &mut ComputeStats,
 ) -> bool {
     let square = regions[user].frame().square(cell);
-    // Line 1: the distance any buffered location instance can stray from the current user
+    // Line 1: the distance any buffered location instance can stray from the buffer's anchor
     // locations — the new tile for this user, the existing regions for the others.
-    let mut dist = square.max_dist(users[user]);
+    let mut dist = square.max_dist(anchors[user]);
     for (j, region) in regions.iter().enumerate() {
         if j != user && !region.is_empty() {
-            dist = dist.max(region.max_dist(users[j]));
+            dist = dist.max(region.max_dist(anchors[j]));
         }
     }
     // Lines 2-4: find the smallest admissible slot; reject outright when none covers `dist`.
@@ -324,8 +428,17 @@ pub(crate) fn buffered_divide_verify(
     }
     let mut flag = false;
     for child in cell.children() {
-        if buffered_divide_verify(users, regions, user, child, p_opt, buffer, level - 1, verifier, stats)
-        {
+        if buffered_divide_verify(
+            anchors,
+            regions,
+            user,
+            child,
+            p_opt,
+            buffer,
+            level - 1,
+            verifier,
+            stats,
+        ) {
             flag = true;
         }
     }
@@ -460,10 +573,7 @@ mod tests {
                     let tiles = region.squares();
                     let sq = tiles[(rand01() * tiles.len() as f64) as usize % tiles.len()];
                     let r = sq.to_rect();
-                    Point::new(
-                        r.lo.x + r.width() * rand01(),
-                        r.lo.y + r.height() * rand01(),
-                    )
+                    Point::new(r.lo.x + r.width() * rand01(), r.lo.y + r.height() * rand01())
                 })
                 .collect();
             for (region, l) in out.regions.iter().zip(&instance) {
@@ -505,6 +615,42 @@ mod tests {
             let out = tile_msr(&tree, &users, Objective::Sum, &config, None);
             assert_safe_region_group_valid(&tree, &users, Objective::Sum, &out);
         }
+    }
+
+    #[test]
+    fn buffer_cache_is_not_reused_across_objectives_trees_or_sizes() {
+        let (tree, users) = world();
+        let config = TileMsrConfig::tile_directed_buffered(0.8, 20);
+        let mut cache = None;
+
+        let first = tile_msr_cached(&tree, &users, Objective::Max, &config, None, &mut cache);
+        assert!(first.built_buffer, "cold cache must build");
+        let again = tile_msr_cached(&tree, &users, Objective::Max, &config, None, &mut cache);
+        assert!(!again.built_buffer, "unchanged state must reuse");
+
+        // The SUM ladder divides by 2m, not 2: a MAX cache must never serve a SUM query.
+        let sum = tile_msr_cached(&tree, &users, Objective::Sum, &config, None, &mut cache);
+        assert!(sum.built_buffer, "objective change must rebuild");
+
+        // A different buffering parameter changes the prefix length.
+        let bigger = TileMsrConfig::tile_directed_buffered(0.8, 30);
+        let resized = tile_msr_cached(&tree, &users, Objective::Sum, &bigger, None, &mut cache);
+        assert!(resized.built_buffer, "buffer-size change must rebuild");
+
+        // A different tree (even with identical contents) must rebuild.
+        let other_tree = RTree::bulk_load(&grid_pois(8, 5.0));
+        let other = tile_msr_cached(&other_tree, &users, Objective::Sum, &bigger, None, &mut cache);
+        assert!(other.built_buffer, "tree change must rebuild");
+
+        // Mutating the tree bumps its generation and invalidates the cache.
+        let mut mutable = RTree::bulk_load(&grid_pois(8, 5.0));
+        let warm = tile_msr_cached(&mutable, &users, Objective::Sum, &bigger, None, &mut cache);
+        assert!(warm.built_buffer);
+        let reused = tile_msr_cached(&mutable, &users, Objective::Sum, &bigger, None, &mut cache);
+        assert!(!reused.built_buffer, "unchanged tree must reuse");
+        mutable.insert(Point::new(1.0, 2.0));
+        let stale = tile_msr_cached(&mutable, &users, Objective::Sum, &bigger, None, &mut cache);
+        assert!(stale.built_buffer, "tree mutation must rebuild");
     }
 
     #[test]

@@ -58,9 +58,8 @@ impl TileVerifier for ItVerifier {
     ) -> bool {
         // Enumerate combinations with a mixed-radix counter over the other users' tiles.
         let m = regions.len();
-        let sizes: Vec<usize> = (0..m)
-            .map(|j| if j == user { 1 } else { regions[j].len().max(1) })
-            .collect();
+        let sizes: Vec<usize> =
+            (0..m).map(|j| if j == user { 1 } else { regions[j].len().max(1) }).collect();
         let mut idx = vec![0usize; m];
         loop {
             {
@@ -169,9 +168,7 @@ impl TileVerifier for GtVerifier {
         let d_o = tile.max_dist(p_opt);
         let d_p = tile.min_dist(candidate);
         let partitions: Vec<Option<Partition>> = (0..m)
-            .map(|j| {
-                (j != user).then(|| Partition::of(&regions[j], p_opt, candidate, d_o, d_p))
-            })
+            .map(|j| (j != user).then(|| Partition::of(&regions[j], p_opt, candidate, d_o, d_p)))
             .collect();
 
         // Helper building a grouped view for every user except `user` from selected indices.
@@ -306,7 +303,14 @@ impl SumVerifier {
         Self { memo: vec![HashMap::new(); group_size] }
     }
 
-    fn region_min(&mut self, user: usize, region: &TileRegion, candidate: Point, candidate_id: usize, p_opt: Point) -> f64 {
+    fn region_min(
+        &mut self,
+        user: usize,
+        region: &TileRegion,
+        candidate: Point,
+        candidate_id: usize,
+        p_opt: Point,
+    ) -> f64 {
         let entry = self.memo[user].entry(candidate_id).or_insert((0, f64::INFINITY));
         if entry.0 < region.len() {
             for sq in &region.squares()[entry.0..] {
@@ -371,13 +375,7 @@ mod tests {
         let per_user: Vec<Vec<Square>> = regions
             .iter()
             .enumerate()
-            .map(|(j, r)| {
-                if j == user {
-                    vec![*tile]
-                } else {
-                    r.squares().to_vec()
-                }
-            })
+            .map(|(j, r)| if j == user { vec![*tile] } else { r.squares().to_vec() })
             .collect();
         // Sample the corner/centre lattice of every tile combination.
         fn samples(sq: &Square) -> Vec<Point> {
@@ -506,10 +504,8 @@ mod tests {
     fn sum_verifier_matches_brute_force_sampling() {
         let p_opt = Point::new(1.0, 1.0);
         let users = [Point::new(0.0, 0.0), Point::new(2.0, 1.0), Point::new(1.0, 3.0)];
-        let regions: Vec<TileRegion> = users
-            .iter()
-            .map(|u| region_at(*u, 1.0, &[TileCell::SEED]))
-            .collect();
+        let regions: Vec<TileRegion> =
+            users.iter().map(|u| region_at(*u, 1.0, &[TileCell::SEED])).collect();
         let mut v = SumVerifier::new(3);
         let candidate = Point::new(4.0, 2.0);
         for gx in -2..=6 {
@@ -524,7 +520,10 @@ mod tests {
                                 let instance = [
                                     Point::new(users[0].x + t0x, users[0].y + t0y),
                                     Point::new(users[1].x + t1x, users[1].y + t1y),
-                                    Point::new(tile.center.x + sx * tile.side(), tile.center.y + sy * tile.side()),
+                                    Point::new(
+                                        tile.center.x + sx * tile.side(),
+                                        tile.center.y + sy * tile.side(),
+                                    ),
                                 ];
                                 // Clamp the third sample into the tile.
                                 let l2 = Point::new(
@@ -556,20 +555,13 @@ mod tests {
 
         let mut memoised = SumVerifier::new(2);
         // Warm the memo with the initial region contents.
-        let _ = memoised.verify(
-            &[region0.clone(), region1.clone()],
-            1,
-            &tile,
-            candidate,
-            42,
-            p_opt,
-        );
+        let _ =
+            memoised.verify(&[region0.clone(), region1.clone()], 1, &tile, candidate, 42, p_opt);
         // Grow user 0's region, then verify again: the memo must fold in the new tile.
         region0.push(TileCell::new(0, 1, 0));
         let with_memo =
             memoised.verify(&[region0.clone(), region1.clone()], 1, &tile, candidate, 42, p_opt);
-        let fresh =
-            SumVerifier::new(2).verify(&[region0, region1], 1, &tile, candidate, 42, p_opt);
+        let fresh = SumVerifier::new(2).verify(&[region0, region1], 1, &tile, candidate, 42, p_opt);
         assert_eq!(with_memo, fresh);
     }
 

@@ -96,11 +96,7 @@ impl<'a> SquaresView<'a> {
 
     fn iter(&self) -> impl Iterator<Item = &Square> + '_ {
         let all = self.selection.is_none();
-        let from_selection = self
-            .selection
-            .iter()
-            .flatten()
-            .map(move |&i| &self.squares[i]);
+        let from_selection = self.selection.iter().flatten().map(move |&i| &self.squares[i]);
         let from_all = self.squares.iter().filter(move |_| all);
         from_selection.chain(from_all)
     }
@@ -282,10 +278,8 @@ mod tests {
 
     #[test]
     fn squares_view_subset_and_all() {
-        let squares = vec![
-            Square::new(Point::new(0.0, 0.0), 2.0),
-            Square::new(Point::new(10.0, 0.0), 2.0),
-        ];
+        let squares =
+            vec![Square::new(Point::new(0.0, 0.0), 2.0), Square::new(Point::new(10.0, 0.0), 2.0)];
         let all = SquaresView::all(&squares);
         let only_far = SquaresView::subset(&squares, vec![1]);
         let empty = SquaresView::subset(&squares, vec![]);

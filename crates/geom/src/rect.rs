@@ -80,21 +80,13 @@ impl Rect {
     /// The four corners in counter-clockwise order starting from the lower-left.
     #[must_use]
     pub fn corners(&self) -> [Point; 4] {
-        [
-            self.lo,
-            Point::new(self.hi.x, self.lo.y),
-            self.hi,
-            Point::new(self.lo.x, self.hi.y),
-        ]
+        [self.lo, Point::new(self.hi.x, self.lo.y), self.hi, Point::new(self.lo.x, self.hi.y)]
     }
 
     /// Smallest rectangle containing both `self` and `other`.
     #[must_use]
     pub fn union(&self, other: Rect) -> Rect {
-        Rect {
-            lo: self.lo.min_components(other.lo),
-            hi: self.hi.max_components(other.hi),
-        }
+        Rect { lo: self.lo.min_components(other.lo), hi: self.hi.max_components(other.hi) }
     }
 
     /// Smallest rectangle containing `self` and the point `p`.

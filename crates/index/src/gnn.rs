@@ -38,10 +38,7 @@ impl Aggregate {
     #[must_use]
     pub fn rect_lower_bound(self, rect: &Rect, users: &[Point]) -> f64 {
         match self {
-            Aggregate::Max => users
-                .iter()
-                .map(|u| rect.min_dist(*u))
-                .fold(0.0, f64::max),
+            Aggregate::Max => users.iter().map(|u| rect.min_dist(*u)).fold(0.0, f64::max),
             Aggregate::Sum => users.iter().map(|u| rect.min_dist(*u)).sum(),
         }
     }

@@ -90,9 +90,8 @@ impl Node {
     fn recompute_mbr(&mut self) {
         match self {
             Node::Leaf { mbr, entries } => {
-                *mbr = entries
-                    .iter()
-                    .fold(Rect::EMPTY, |r, e| r.union(Rect::from_point(e.location)));
+                *mbr =
+                    entries.iter().fold(Rect::EMPTY, |r, e| r.union(Rect::from_point(e.location)));
             }
             Node::Internal { mbr, children } => {
                 *mbr = children.iter().fold(Rect::EMPTY, |r, c| r.union(c.mbr()));
@@ -135,6 +134,15 @@ pub struct RTree {
     root: Option<Node>,
     len: usize,
     next_id: usize,
+    generation: u64,
+}
+
+/// Process-unique stamp for [`RTree::generation`]: every construction or mutation gets a
+/// fresh value, so two trees (or two states of one tree) never share a generation.
+fn next_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 impl Default for RTree {
@@ -147,17 +155,13 @@ impl RTree {
     /// Creates an empty tree with the given configuration.
     #[must_use]
     pub fn new(config: RTreeConfig) -> Self {
-        Self { config, root: None, len: 0, next_id: 0 }
+        Self { config, root: None, len: 0, next_id: 0, generation: next_generation() }
     }
 
     /// Bulk loads a tree from plain points; the entry id of each point is its slice index.
     #[must_use]
     pub fn bulk_load(points: &[Point]) -> Self {
-        let entries = points
-            .iter()
-            .enumerate()
-            .map(|(i, p)| PoiEntry::new(i, *p))
-            .collect();
+        let entries = points.iter().enumerate().map(|(i, p)| PoiEntry::new(i, *p)).collect();
         Self::bulk_load_entries(entries, RTreeConfig::default())
     }
 
@@ -167,11 +171,11 @@ impl RTree {
         let len = entries.len();
         let next_id = entries.iter().map(|e| e.id + 1).max().unwrap_or(0);
         if entries.is_empty() {
-            return Self { config, root: None, len: 0, next_id };
+            return Self { config, root: None, len: 0, next_id, generation: next_generation() };
         }
         let leaves = str_pack_leaves(entries, config.max_entries);
         let root = build_upper_levels(leaves, config.max_entries);
-        Self { config, root: Some(root), len, next_id }
+        Self { config, root: Some(root), len, next_id, generation: next_generation() }
     }
 
     /// Number of POIs stored in the tree.
@@ -210,6 +214,17 @@ impl RTree {
         self.config
     }
 
+    /// Process-unique identity stamp of this tree's current contents.
+    ///
+    /// Every construction and every mutation produces a fresh value, so caches keyed on the
+    /// generation (e.g. the persistent §5.4 GNN buffer) can detect a different or modified
+    /// tree without probabilistic address/content comparisons.  Cloning preserves the stamp:
+    /// a clone holds identical contents, so caches built from the original stay valid for it.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Inserts a new POI and returns its assigned id.
     pub fn insert(&mut self, location: Point) -> usize {
         let id = self.next_id;
@@ -222,6 +237,7 @@ impl RTree {
     pub fn insert_entry(&mut self, entry: PoiEntry) {
         self.next_id = self.next_id.max(entry.id + 1);
         self.len += 1;
+        self.generation = next_generation();
         match self.root.take() {
             None => {
                 self.root = Some(Node::Leaf {
@@ -330,10 +346,7 @@ impl RTree {
         let mut stack: Vec<&Node> = self.root.iter().collect();
         while let Some(node) = stack.pop() {
             let mbr = node.mbr();
-            let pruned = users
-                .iter()
-                .zip(radii)
-                .any(|(u, r)| mbr.min_dist(*u) > *r);
+            let pruned = users.iter().zip(radii).any(|(u, r)| mbr.min_dist(*u) > *r);
             if pruned {
                 continue;
             }
@@ -342,10 +355,7 @@ impl RTree {
                 Node::Leaf { entries, .. } => {
                     for e in entries {
                         stats.points_examined += 1;
-                        let keep = users
-                            .iter()
-                            .zip(radii)
-                            .all(|(u, r)| e.location.dist(*u) <= *r);
+                        let keep = users.iter().zip(radii).all(|(u, r)| e.location.dist(*u) <= *r);
                         if keep {
                             out.push(*e);
                         }
@@ -652,9 +662,22 @@ mod tests {
 
     fn grid_points(n: usize) -> Vec<Point> {
         let side = (n as f64).sqrt().ceil() as usize;
-        (0..n)
-            .map(|i| Point::new((i % side) as f64, (i / side) as f64))
-            .collect()
+        (0..n).map(|i| Point::new((i % side) as f64, (i / side) as f64)).collect()
+    }
+
+    #[test]
+    fn generations_are_unique_per_construction_and_mutation() {
+        let a = RTree::bulk_load(&grid_points(16));
+        let b = RTree::bulk_load(&grid_points(16));
+        assert_ne!(a.generation(), b.generation(), "distinct trees get distinct stamps");
+        // A clone shares contents, so it keeps the stamp.
+        assert_eq!(a.clone().generation(), a.generation());
+        // Mutation refreshes the stamp.
+        let mut c = b.clone();
+        let before = c.generation();
+        c.insert(Point::new(100.0, 100.0));
+        assert_ne!(c.generation(), before);
+        assert_eq!(b.generation(), before, "the clone's mutation leaves the original alone");
     }
 
     #[test]
@@ -742,12 +765,8 @@ mod tests {
         let q = Rect::new(Point::new(2.5, 3.5), Point::new(9.5, 12.5));
         let mut got: Vec<usize> = t.range(&q).into_iter().map(|e| e.id).collect();
         got.sort_unstable();
-        let mut want: Vec<usize> = pts
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| q.contains(**p))
-            .map(|(i, _)| i)
-            .collect();
+        let mut want: Vec<usize> =
+            pts.iter().enumerate().filter(|(_, p)| q.contains(**p)).map(|(i, _)| i).collect();
         want.sort_unstable();
         assert_eq!(got, want);
     }

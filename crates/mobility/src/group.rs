@@ -51,11 +51,7 @@ impl GroupWorkload {
     /// The shortest trajectory length across all groups (the usable monitoring horizon).
     #[must_use]
     pub fn horizon(&self) -> usize {
-        self.groups
-            .iter()
-            .flat_map(|g| g.iter().map(Trajectory::len))
-            .min()
-            .unwrap_or(0)
+        self.groups.iter().flat_map(|g| g.iter().map(Trajectory::len)).min().unwrap_or(0)
     }
 
     /// Applies the speed-scaling procedure to every trajectory (Section 7.2) and returns the
@@ -118,10 +114,8 @@ mod tests {
 
     #[test]
     fn horizon_is_the_shortest_trajectory() {
-        let workload = GroupWorkload::new(vec![
-            vec![traj(0.0, 100), traj(1.0, 80)],
-            vec![traj(2.0, 90)],
-        ]);
+        let workload =
+            GroupWorkload::new(vec![vec![traj(0.0, 100), traj(1.0, 80)], vec![traj(2.0, 90)]]);
         assert_eq!(workload.horizon(), 80);
     }
 

@@ -54,21 +54,13 @@ pub fn clustered_pois(config: &PoiConfig, seed: u64) -> Vec<Point> {
     let mut rng = StdRng::seed_from_u64(seed);
     let clusters = config.clusters.max(1);
     let centres: Vec<Point> = (0..clusters)
-        .map(|_| {
-            Point::new(
-                rng.gen_range(0.0..=config.domain),
-                rng.gen_range(0.0..=config.domain),
-            )
-        })
+        .map(|_| Point::new(rng.gen_range(0.0..=config.domain), rng.gen_range(0.0..=config.domain)))
         .collect();
     let sigma = config.spread * config.domain;
     (0..config.count)
         .map(|_| {
             if rng.gen::<f64>() < config.uniform_fraction {
-                Point::new(
-                    rng.gen_range(0.0..=config.domain),
-                    rng.gen_range(0.0..=config.domain),
-                )
+                Point::new(rng.gen_range(0.0..=config.domain), rng.gen_range(0.0..=config.domain))
             } else {
                 let centre = centres[rng.gen_range(0..clusters)];
                 let p = Point::new(
@@ -130,7 +122,13 @@ mod tests {
 
     #[test]
     fn clustered_pois_are_skewed() {
-        let config = PoiConfig { count: 4000, clusters: 4, spread: 0.02, uniform_fraction: 0.0, domain: 1000.0 };
+        let config = PoiConfig {
+            count: 4000,
+            clusters: 4,
+            spread: 0.02,
+            uniform_fraction: 0.0,
+            domain: 1000.0,
+        };
         let pois = clustered_pois(&config, 7);
         assert_eq!(pois.len(), 4000);
         assert!(pois.iter().all(|p| (0.0..=1000.0).contains(&p.x)));
@@ -150,9 +148,10 @@ mod tests {
 
     #[test]
     fn clustered_with_full_uniform_fraction_behaves_like_uniform() {
-        let config = PoiConfig { count: 2000, uniform_fraction: 1.0, domain: 500.0, ..PoiConfig::default() };
+        let config =
+            PoiConfig { count: 2000, uniform_fraction: 1.0, domain: 500.0, ..PoiConfig::default() };
         let pois = clustered_pois(&config, 3);
-        let mut cells = vec![0usize; 25];
+        let mut cells = [0usize; 25];
         for p in &pois {
             let cx = ((p.x / 100.0) as usize).min(4);
             let cy = ((p.y / 100.0) as usize).min(4);

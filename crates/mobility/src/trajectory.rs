@@ -57,10 +57,7 @@ impl Trajectory {
     /// Maximum per-timestamp displacement (the effective speed of the trajectory).
     #[must_use]
     pub fn max_step(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].dist(w[1]))
-            .fold(0.0, f64::max)
+        self.points.windows(2).map(|w| w[0].dist(w[1])).fold(0.0, f64::max)
     }
 
     /// Average per-timestamp displacement.

@@ -93,9 +93,8 @@ pub fn random_waypoint(config: &WaypointConfig, seed: u64) -> Trajectory {
 #[must_use]
 pub fn taxi_trajectory(config: &TaxiConfig, seed: u64) -> Trajectory {
     let mut rng = StdRng::seed_from_u64(seed);
-    let hotspots: Vec<Point> = (0..config.hotspots.max(1))
-        .map(|_| uniform_point(&mut rng, config.domain))
-        .collect();
+    let hotspots: Vec<Point> =
+        (0..config.hotspots.max(1)).map(|_| uniform_point(&mut rng, config.domain)).collect();
     let sigma = config.hotspot_spread * config.domain;
 
     let mut points = Vec::with_capacity(config.timestamps);
@@ -173,7 +172,12 @@ mod tests {
 
     #[test]
     fn taxi_trajectory_respects_speed_and_domain() {
-        let config = TaxiConfig { domain: 1000.0, speed_limit: 8.0, timestamps: 3000, ..TaxiConfig::default() };
+        let config = TaxiConfig {
+            domain: 1000.0,
+            speed_limit: 8.0,
+            timestamps: 3000,
+            ..TaxiConfig::default()
+        };
         let t = taxi_trajectory(&config, 4);
         assert_eq!(t.len(), 3000);
         assert!(t.max_step() <= 8.0 + 1e-9);
@@ -187,7 +191,12 @@ mod tests {
 
     #[test]
     fn taxi_headings_change_gradually_most_of_the_time() {
-        let config = TaxiConfig { domain: 1000.0, speed_limit: 6.0, timestamps: 4000, ..TaxiConfig::default() };
+        let config = TaxiConfig {
+            domain: 1000.0,
+            speed_limit: 6.0,
+            timestamps: 4000,
+            ..TaxiConfig::default()
+        };
         let t = taxi_trajectory(&config, 21);
         let mut moves = 0usize;
         let mut smooth = 0usize;

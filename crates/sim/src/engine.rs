@@ -1,0 +1,387 @@
+//! The multi-group monitoring engine: many [`GroupSession`]s, sharded and ticked in parallel.
+//!
+//! A production meeting-point service monitors thousands of groups against one POI index.
+//! [`MonitoringEngine`] holds the registered sessions in `S` shards (groups are assigned
+//! round-robin by id) and advances every live session one timestamp per [`tick`]
+//! (MonitoringEngine::tick), with one worker thread per shard via [`std::thread::scope`].
+//! Groups are fully independent — each session owns its engine, its
+//! [`SessionState`](mpn_core::SessionState) and its metrics — so a parallel tick produces
+//! exactly the counters of the equivalent serial replay.
+//!
+//! The external `rayon` crate would be the natural executor here, but this workspace builds
+//! without network access, so the shard fan-out uses scoped threads from `std`; swapping in a
+//! work-stealing pool is a local change to [`MonitoringEngine::tick`].
+//!
+//! Sessions may have different horizons (and even different methods/objectives); a session
+//! past its horizon is skipped.  [`run_to_completion`](MonitoringEngine::run_to_completion)
+//! ticks until every session finished, and the per-group / fleet-wide metrics are available
+//! throughout.
+
+use mpn_index::RTree;
+use mpn_mobility::Trajectory;
+
+use crate::metrics::MonitoringMetrics;
+use crate::monitor::{GroupSession, MonitorConfig, StepOutcome};
+
+/// Identifier of a registered group (dense, in registration order).
+pub type GroupId = usize;
+
+/// Aggregate outcome of one fleet-wide tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickSummary {
+    /// Index of the tick (0 = the registration tick of the initially registered groups).
+    pub tick: usize,
+    /// Sessions that were still live and advanced during this tick.
+    pub advanced: usize,
+    /// Sessions that ran the full update protocol (violation → probe → recompute → notify).
+    pub updated: usize,
+    /// Total users that violated their safe regions during this tick.
+    pub violators: usize,
+    /// Sessions that performed their initial registration during this tick.
+    pub registered: usize,
+    /// Sessions finished after this tick (fleet-wide total, not per-tick delta).
+    pub finished: usize,
+}
+
+/// One shard: a slice of the fleet advanced by a single worker per tick.
+#[derive(Debug, Default)]
+struct Shard<'g> {
+    sessions: Vec<(GroupId, GroupSession<'g>)>,
+}
+
+impl Shard<'_> {
+    /// Advances every live session one timestamp; returns this shard's tick tally.
+    fn advance_all(&mut self, tree: &RTree) -> TickSummary {
+        let mut tally = TickSummary::default();
+        for (_, session) in &mut self.sessions {
+            match session.advance(tree) {
+                StepOutcome::Finished => {}
+                StepOutcome::Registered => {
+                    tally.advanced += 1;
+                    tally.registered += 1;
+                }
+                StepOutcome::Quiet => tally.advanced += 1,
+                StepOutcome::Updated { violators } => {
+                    tally.advanced += 1;
+                    tally.updated += 1;
+                    tally.violators += violators;
+                }
+            }
+            if session.is_finished() {
+                tally.finished += 1;
+            }
+        }
+        tally
+    }
+}
+
+/// A sharded, stateful server monitoring many moving groups over one POI index.
+#[derive(Debug)]
+pub struct MonitoringEngine<'a, 'g> {
+    tree: &'a RTree,
+    shards: Vec<Shard<'g>>,
+    /// `id -> (shard, index within shard)`, in registration order.
+    directory: Vec<(usize, usize)>,
+    clock: usize,
+}
+
+impl<'a, 'g> MonitoringEngine<'a, 'g> {
+    /// Creates an engine over the POI tree with `num_shards` worker shards.
+    ///
+    /// `num_shards` is clamped to at least 1.  One shard means fully serial ticks.
+    ///
+    /// # Panics
+    /// Panics when the POI tree is empty.
+    #[must_use]
+    pub fn new(tree: &'a RTree, num_shards: usize) -> Self {
+        assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
+        let num_shards = num_shards.max(1);
+        Self {
+            tree,
+            shards: (0..num_shards).map(|_| Shard::default()).collect(),
+            directory: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Creates an engine with one shard per available CPU.
+    #[must_use]
+    pub fn with_default_shards(tree: &'a RTree) -> Self {
+        let shards = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        Self::new(tree, shards)
+    }
+
+    /// Registers a group for monitoring and returns its id.
+    ///
+    /// Groups registered after ticking has started replay their trajectories from their own
+    /// `t = 0` (sessions are self-clocked); their registration message is counted on the next
+    /// tick.
+    ///
+    /// The trajectories are borrowed, not copied: full-scale workloads are tens of megabytes
+    /// and the replay only ever reads locations per timestamp.
+    ///
+    /// # Panics
+    /// Panics when the group is empty.
+    pub fn register(&mut self, group: &'g [Trajectory], config: MonitorConfig) -> GroupId {
+        let id = self.directory.len();
+        let shard = id % self.shards.len();
+        let slot = self.shards[shard].sessions.len();
+        self.shards[shard].sessions.push((id, GroupSession::new(group, config)));
+        self.directory.push((shard, slot));
+        id
+    }
+
+    /// Number of registered groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Number of shards ticked in parallel.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of ticks executed so far.
+    #[must_use]
+    pub fn clock(&self) -> usize {
+        self.clock
+    }
+
+    /// The longest horizon over all registered sessions.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.sessions().map(GroupSession::horizon).max().unwrap_or(0)
+    }
+
+    /// Whether every registered session has replayed its whole horizon.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.sessions().all(GroupSession::is_finished)
+    }
+
+    /// Advances every live session one timestamp, one worker thread per *live* shard.
+    ///
+    /// Shards whose sessions have all finished are skipped without a thread, and a single
+    /// live shard runs inline — so a winding-down fleet (or a small one spread over many
+    /// shards) does not pay per-tick thread churn.  Counters are deterministic: groups are
+    /// independent, so the summary and all per-group metrics are identical to a serial
+    /// replay regardless of the shard count.
+    pub fn tick(&mut self) -> TickSummary {
+        let tree = self.tree;
+        let (live, done): (Vec<&mut Shard>, Vec<&mut Shard>) = self
+            .shards
+            .iter_mut()
+            .partition(|shard| shard.sessions.iter().any(|(_, s)| !s.is_finished()));
+        let already_finished: usize = done.iter().map(|shard| shard.sessions.len()).sum();
+        let tallies: Vec<TickSummary> = if live.len() <= 1 {
+            live.into_iter().map(|shard| shard.advance_all(tree)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = live
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || shard.advance_all(tree)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("monitoring shard thread panicked"))
+                    .collect()
+            })
+        };
+        let mut summary = tallies.into_iter().fold(TickSummary::default(), |mut acc, t| {
+            acc.advanced += t.advanced;
+            acc.updated += t.updated;
+            acc.violators += t.violators;
+            acc.registered += t.registered;
+            acc.finished += t.finished;
+            acc
+        });
+        summary.finished += already_finished;
+        summary.tick = self.clock;
+        self.clock += 1;
+        summary
+    }
+
+    /// Ticks until every session has replayed its whole horizon; returns the tick count.
+    pub fn run_to_completion(&mut self) -> usize {
+        let mut ticks = 0;
+        while !self.is_finished() {
+            self.tick();
+            ticks += 1;
+        }
+        ticks
+    }
+
+    /// The session of one group.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn group(&self, id: GroupId) -> &GroupSession<'g> {
+        let (shard, slot) = self.directory[id];
+        &self.shards[shard].sessions[slot].1
+    }
+
+    /// The metrics of one group accumulated so far.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    #[must_use]
+    pub fn group_metrics(&self, id: GroupId) -> &MonitoringMetrics {
+        self.group(id).metrics()
+    }
+
+    /// Fleet-wide metrics: every group's counters merged into one record.
+    ///
+    /// `group_size` is the total number of monitored users.
+    #[must_use]
+    pub fn fleet_metrics(&self) -> MonitoringMetrics {
+        let users = self.sessions().map(GroupSession::group_size).sum();
+        let mut fleet = MonitoringMetrics::new(users);
+        for session in self.sessions() {
+            fleet.absorb(session.metrics());
+        }
+        fleet
+    }
+
+    /// Consumes the engine, returning every group's metrics in registration order.
+    #[must_use]
+    pub fn into_group_metrics(self) -> Vec<MonitoringMetrics> {
+        let mut with_ids: Vec<(GroupId, MonitoringMetrics)> = self
+            .shards
+            .into_iter()
+            .flat_map(|shard| {
+                shard.sessions.into_iter().map(|(id, session)| (id, session.into_metrics()))
+            })
+            .collect();
+        with_ids.sort_by_key(|(id, _)| *id);
+        with_ids.into_iter().map(|(_, metrics)| metrics).collect()
+    }
+
+    fn sessions(&self) -> impl Iterator<Item = &GroupSession<'g>> {
+        self.shards.iter().flat_map(|shard| shard.sessions.iter().map(|(_, s)| s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::run_monitoring;
+    use mpn_core::{Method, Objective};
+    use mpn_mobility::poi::{clustered_pois, PoiConfig};
+    use mpn_mobility::waypoint::{random_waypoint, WaypointConfig};
+
+    fn world(groups: usize) -> (RTree, Vec<Vec<Trajectory>>) {
+        let pois =
+            clustered_pois(&PoiConfig { count: 700, domain: 1000.0, ..PoiConfig::default() }, 5);
+        let tree = RTree::bulk_load(&pois);
+        let config = WaypointConfig { domain: 1000.0, speed_limit: 6.0, timestamps: 120 };
+        let fleet = (0..groups)
+            .map(|g| (0..3).map(|i| random_waypoint(&config, (g * 13 + i) as u64)).collect())
+            .collect();
+        (tree, fleet)
+    }
+
+    #[test]
+    fn parallel_ticks_match_serial_replays() {
+        let (tree, fleet) = world(6);
+        let config = MonitorConfig::new(Objective::Max, Method::tile()).with_max_timestamps(80);
+
+        let serial: Vec<_> = fleet.iter().map(|g| run_monitoring(&tree, g, &config)).collect();
+
+        let mut engine = MonitoringEngine::new(&tree, 4);
+        for group in &fleet {
+            engine.register(group, config);
+        }
+        let ticks = engine.run_to_completion();
+        assert_eq!(ticks, 80, "80-timestamp horizon takes 80 ticks");
+        let parallel = engine.into_group_metrics();
+
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.updates, s.updates);
+            assert_eq!(p.timestamps, s.timestamps);
+            assert_eq!(p.traffic, s.traffic);
+            assert_eq!(p.stats, s.stats);
+        }
+    }
+
+    #[test]
+    fn tick_summaries_account_for_every_session() {
+        let (tree, fleet) = world(5);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(40);
+        let mut engine = MonitoringEngine::new(&tree, 2);
+        for group in &fleet {
+            engine.register(group, config);
+        }
+        assert_eq!(engine.group_count(), 5);
+        assert_eq!(engine.horizon(), 40);
+
+        let first = engine.tick();
+        assert_eq!(first.tick, 0);
+        assert_eq!(first.registered, 5, "first tick registers every group");
+        assert_eq!(first.advanced, 5);
+
+        let second = engine.tick();
+        assert_eq!(second.tick, 1);
+        assert_eq!(second.registered, 0);
+        assert_eq!(second.advanced, 5);
+
+        engine.run_to_completion();
+        assert!(engine.is_finished());
+        let summary = engine.tick();
+        assert_eq!(summary.advanced, 0, "finished sessions do not advance");
+        assert_eq!(summary.finished, 5);
+    }
+
+    #[test]
+    fn fleet_metrics_merge_all_groups() {
+        let (tree, fleet) = world(3);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(30);
+        let mut engine = MonitoringEngine::new(&tree, 8);
+        for group in &fleet {
+            engine.register(group, config);
+        }
+        engine.run_to_completion();
+        let fleet_metrics = engine.fleet_metrics();
+        assert_eq!(fleet_metrics.group_size, 9, "3 groups of 3 users");
+        assert_eq!(fleet_metrics.timestamps, 3 * 29);
+        let per_group: usize = (0..3).map(|id| engine.group_metrics(id).updates).sum();
+        assert_eq!(fleet_metrics.updates, per_group);
+    }
+
+    #[test]
+    fn heterogeneous_sessions_coexist() {
+        let (tree, fleet) = world(2);
+        let mut engine = MonitoringEngine::new(&tree, 3);
+        let a = engine.register(
+            &fleet[0],
+            MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(20),
+        );
+        let b = engine.register(
+            &fleet[1],
+            MonitorConfig::new(Objective::Sum, Method::tile()).with_max_timestamps(50),
+        );
+        engine.run_to_completion();
+        assert_eq!(engine.group_metrics(a).timestamps, 19);
+        assert_eq!(engine.group_metrics(b).timestamps, 49);
+        assert_eq!(engine.group(a).config().method.name(), "Circle");
+        assert_eq!(engine.group(b).config().method.name(), "Tile");
+    }
+
+    #[test]
+    fn late_registration_starts_from_the_groups_own_clock() {
+        let (tree, fleet) = world(2);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(25);
+        let mut engine = MonitoringEngine::new(&tree, 2);
+        engine.register(&fleet[0], config);
+        engine.tick();
+        engine.tick();
+        let late = engine.register(&fleet[1], config);
+        let summary = engine.tick();
+        assert_eq!(summary.registered, 1, "the late group registers on its first tick");
+        engine.run_to_completion();
+        assert_eq!(engine.group_metrics(late).timestamps, 24, "late groups replay fully");
+    }
+}

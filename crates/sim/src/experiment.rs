@@ -7,8 +7,9 @@ use std::time::Duration;
 use mpn_index::RTree;
 use mpn_mobility::GroupWorkload;
 
+use crate::engine::MonitoringEngine;
 use crate::metrics::MonitoringMetrics;
-use crate::monitor::{run_monitoring, MonitorConfig};
+use crate::monitor::MonitorConfig;
 
 /// Averaged results of running one method over a whole workload.
 #[derive(Debug, Clone)]
@@ -45,13 +46,40 @@ impl WorkloadSummary {
 }
 
 /// Runs one monitoring configuration over every group of the workload and averages the results.
+///
+/// Since the stateful refactor this drives a [`MonitoringEngine`] with a **single shard**:
+/// the paper's figures report per-update CPU time, and timing safe-region computations while
+/// other shards compete for cores would inflate those numbers relative to the historical
+/// serial replay.  Counters and timings are therefore both comparable to the pre-refactor
+/// driver.  Use [`run_workload_sharded`] when only the protocol counters matter and
+/// wall-clock speed does.
 #[must_use]
-pub fn run_workload(tree: &RTree, workload: &GroupWorkload, config: &MonitorConfig) -> WorkloadSummary {
-    let mut per_group = Vec::with_capacity(workload.group_count());
+pub fn run_workload(
+    tree: &RTree,
+    workload: &GroupWorkload,
+    config: &MonitorConfig,
+) -> WorkloadSummary {
+    run_workload_sharded(tree, workload, config, 1)
+}
+
+/// Like [`run_workload`] but with an explicit shard count.
+///
+/// With more than one shard the protocol counters (updates, packets, R-tree work) are
+/// unchanged — groups are independent — but the per-update CPU times are measured under
+/// multi-core contention and should not be compared against serial runs.
+#[must_use]
+pub fn run_workload_sharded(
+    tree: &RTree,
+    workload: &GroupWorkload,
+    config: &MonitorConfig,
+    num_shards: usize,
+) -> WorkloadSummary {
+    let mut engine = MonitoringEngine::new(tree, num_shards);
     for group in workload.iter() {
-        per_group.push(run_monitoring(tree, group, config));
+        engine.register(group, *config);
     }
-    summarize(per_group)
+    engine.run_to_completion();
+    summarize(engine.into_group_metrics())
 }
 
 /// Averages a set of per-group metrics into a [`WorkloadSummary`].
@@ -60,25 +88,18 @@ pub fn summarize(per_group: Vec<MonitoringMetrics>) -> WorkloadSummary {
     let groups = per_group.len().max(1);
     let update_frequency =
         per_group.iter().map(MonitoringMetrics::update_frequency).sum::<f64>() / groups as f64;
-    let updates_per_group =
-        per_group.iter().map(|m| m.updates as f64).sum::<f64>() / groups as f64;
+    let updates_per_group = per_group.iter().map(|m| m.updates as f64).sum::<f64>() / groups as f64;
     let packets_per_timestamp =
         per_group.iter().map(MonitoringMetrics::packets_per_timestamp).sum::<f64>() / groups as f64;
     let packets_per_group =
         per_group.iter().map(|m| m.packets() as f64).sum::<f64>() / groups as f64;
     let total_updates: usize = per_group.iter().map(|m| m.updates).sum();
     let total_time: Duration = per_group.iter().map(|m| m.compute_time).sum();
-    let mean_compute_time = if total_updates == 0 {
-        Duration::ZERO
-    } else {
-        total_time / total_updates as u32
-    };
+    let mean_compute_time =
+        if total_updates == 0 { Duration::ZERO } else { total_time / total_updates as u32 };
     let total_queries: usize = per_group.iter().map(|m| m.stats.rtree_queries).sum();
-    let rtree_queries_per_update = if total_updates == 0 {
-        0.0
-    } else {
-        total_queries as f64 / total_updates as f64
-    };
+    let rtree_queries_per_update =
+        if total_updates == 0 { 0.0 } else { total_queries as f64 / total_updates as f64 };
     WorkloadSummary {
         groups: per_group.len(),
         update_frequency,
@@ -100,10 +121,8 @@ mod tests {
     use mpn_mobility::{partition_into_groups, Trajectory};
 
     fn workload(groups: usize, m: usize) -> (RTree, GroupWorkload) {
-        let pois = clustered_pois(
-            &PoiConfig { count: 600, domain: 1000.0, ..PoiConfig::default() },
-            3,
-        );
+        let pois =
+            clustered_pois(&PoiConfig { count: 600, domain: 1000.0, ..PoiConfig::default() }, 3);
         let config = WaypointConfig { domain: 1000.0, speed_limit: 8.0, timestamps: 200 };
         let trajectories: Vec<Trajectory> =
             (0..groups * m).map(|i| random_waypoint(&config, 400 + i as u64)).collect();

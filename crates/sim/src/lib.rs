@@ -1,25 +1,40 @@
-//! Client–server monitoring simulation for meeting-point notification.
+//! Stateful client–server monitoring for meeting-point notification.
 //!
-//! This crate glues the safe-region algorithms (`mpn-core`), the POI index (`mpn-index`) and
-//! the workload generators (`mpn-mobility`) into the monitoring protocol of Fig. 3 and
-//! measures what the paper's evaluation measures:
+//! This crate glues the safe-region engines (`mpn-core`), the POI index (`mpn-index`) and the
+//! workload generators (`mpn-mobility`) into the monitoring protocol of Fig. 3 and measures
+//! what the paper's evaluation measures:
 //!
 //! * **update frequency** — safe-region recomputations per timestamp,
 //! * **running time** — CPU time per safe-region computation,
 //! * **communication cost** — TCP packets exchanged between clients and the server.
 //!
-//! The main entry point is [`run_monitoring`]; [`experiment::run_workload`] runs a whole
-//! multi-group workload and averages the metrics, which is how every figure of the paper is
+//! # Architecture
+//!
+//! The monitoring layer is built from two pieces:
+//!
+//! * [`GroupSession`] ([`monitor`]) — the protocol state machine of *one* moving group:
+//!   violation detection against the last answer, the report/probe/notify message exchange,
+//!   and the per-group engine state ([`mpn_core::SessionState`]: heading predictors, §5.4 GNN
+//!   buffer, last answer) that persists across updates;
+//! * [`MonitoringEngine`] ([`engine`]) — a fleet of sessions sharded over worker threads and
+//!   advanced one timestamp per [`tick`](MonitoringEngine::tick), with per-group and
+//!   fleet-wide [`MonitoringMetrics`] / [`Traffic`] aggregation.
+//!
+//! [`run_monitoring`] remains as the single-group compatibility wrapper (bit-identical
+//! counters to the historical stateless loop) and [`experiment::run_workload`] drives a whole
+//! multi-group workload through the engine, which is how every figure of the paper is
 //! reproduced by `mpn-bench`.
 
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod experiment;
 pub mod message;
 pub mod metrics;
 pub mod monitor;
 
-pub use experiment::{run_workload, WorkloadSummary};
+pub use engine::{GroupId, MonitoringEngine, TickSummary};
+pub use experiment::{run_workload, run_workload_sharded, WorkloadSummary};
 pub use message::{Message, MessageKind, Traffic};
 pub use metrics::MonitoringMetrics;
-pub use monitor::{run_monitoring, MonitorConfig};
+pub use monitor::{run_monitoring, GroupSession, MonitorConfig, StepOutcome};

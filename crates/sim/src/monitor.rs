@@ -1,24 +1,31 @@
-//! The client–server monitoring loop.
+//! The per-group monitoring state machine.
 //!
-//! [`run_monitoring`] replays a group of trajectories timestamp by timestamp against an
-//! [`MpnServer`] and accounts for every message of the protocol in Fig. 3:
+//! [`GroupSession`] owns everything the server keeps for one moving group: the trajectories,
+//! the safe-region engine, the per-group [`SessionState`] (heading predictors, §5.4 GNN
+//! buffer, last answer) and the accumulated metrics.  Each [`GroupSession::advance`] call
+//! replays one timestamp of the protocol of Fig. 3:
 //!
-//! * at `t = 0` the server computes the initial answer and notifies every user;
-//! * afterwards, whenever at least one user has left her safe region, the violating users
-//!   report their locations (step 1), the server probes the remaining users (step 2), and a
-//!   fresh answer with new safe regions is pushed to everyone (step 3).
+//! * the first call registers the query — every user reports her location once, the server
+//!   computes the initial answer and notifies everyone;
+//! * each later call is one monitoring step: **violation detection** against the last
+//!   answer's safe regions, then (only when at least one user left her region) **step 1** the
+//!   violating users report, **step 2** the server probes the remaining users, **step 3** the
+//!   server recomputes and pushes fresh safe regions to the whole group.
 //!
-//! The run records the paper's three measures: update frequency, CPU time per safe-region
-//! computation, and communication cost in packets.
+//! Sessions are self-clocked and [`Send`], so a
+//! [`MonitoringEngine`](crate::engine::MonitoringEngine) can advance many of them from worker
+//! threads.  The legacy single-group entry point [`run_monitoring`] is a thin wrapper that
+//! drives one session to its horizon; with the default configuration its metrics (updates,
+//! packets, work counters) are bit-identical to the historical stateless loop.
 
 use std::time::Instant;
 
-use mpn_core::{Answer, Method, MpnServer, Objective};
-use mpn_geom::{HeadingPredictor, Point};
+use mpn_core::{EngineContext, Method, Objective, SafeRegionEngine, SessionState};
+use mpn_geom::Point;
 use mpn_index::RTree;
 use mpn_mobility::Trajectory;
 
-use crate::message::{Message, Traffic};
+use crate::message::Message;
 use crate::metrics::MonitoringMetrics;
 
 /// Configuration of a monitoring run.
@@ -35,6 +42,12 @@ pub struct MonitorConfig {
     /// Optional cap on the number of timestamps replayed (useful for quick experiments);
     /// `None` replays the full common horizon of the group.
     pub max_timestamps: Option<usize>,
+    /// Whether the session keeps its §5.4 GNN buffer alive across updates (Tile-D-b only).
+    ///
+    /// Off (the default) every buffered update rebuilds the buffer, exactly like the
+    /// historical stateless loop; on, the buffer is rebuilt only when the optimum moves or
+    /// the group strays from the buffer anchors, roughly halving R-tree queries per update.
+    pub persist_buffers: bool,
 }
 
 impl MonitorConfig {
@@ -47,6 +60,7 @@ impl MonitorConfig {
             compress_regions: true,
             heading_smoothing: 0.3,
             max_timestamps: None,
+            persist_buffers: false,
         }
     }
 
@@ -56,99 +70,219 @@ impl MonitorConfig {
         self.max_timestamps = Some(limit);
         self
     }
+
+    /// Enables reuse of the §5.4 GNN buffer across updates.
+    #[must_use]
+    pub fn with_persistent_buffers(mut self, enabled: bool) -> Self {
+        self.persist_buffers = enabled;
+        self
+    }
+}
+
+/// What one [`GroupSession::advance`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The first call: query registration plus the initial computation.
+    Registered,
+    /// Every user stayed inside her safe region; no communication happened.
+    Quiet,
+    /// At least one user violated her region; the full update protocol ran.
+    Updated {
+        /// Number of users that had left their safe regions.
+        violators: usize,
+    },
+    /// The session had already replayed its whole horizon; nothing happened.
+    Finished,
+}
+
+/// The monitoring state machine of one moving group.
+#[derive(Debug)]
+pub struct GroupSession<'g> {
+    /// Borrowed, not owned: the replay driver never copies trajectory data (full-scale
+    /// workloads are tens of megabytes), it only reads locations per timestamp.
+    group: &'g [Trajectory],
+    config: MonitorConfig,
+    engine: Box<dyn SafeRegionEngine>,
+    session: SessionState,
+    metrics: MonitoringMetrics,
+    locations: Vec<Point>,
+    horizon: usize,
+    next_t: usize,
+    registered: bool,
+}
+
+impl<'g> GroupSession<'g> {
+    /// Creates a session over the group's trajectories.
+    ///
+    /// # Panics
+    /// Panics when the group is empty.
+    #[must_use]
+    pub fn new(group: &'g [Trajectory], config: MonitorConfig) -> Self {
+        assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+        let horizon = group.iter().map(Trajectory::len).min().unwrap_or(0);
+        let horizon = config.max_timestamps.map_or(horizon, |cap| horizon.min(cap));
+        let session = SessionState::new(group.len(), config.heading_smoothing)
+            .with_persistent_buffers(config.persist_buffers);
+        let metrics = MonitoringMetrics::new(group.len());
+        Self {
+            engine: config.method.engine(),
+            session,
+            metrics,
+            locations: Vec::with_capacity(group.len()),
+            horizon,
+            next_t: 0,
+            registered: false,
+            group,
+            config,
+        }
+    }
+
+    /// Number of users in the group.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.group.len()
+    }
+
+    /// The number of timestamps this session will replay (including the registration).
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// The session's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// The per-group engine state (heading predictors, buffer cache, last answer).
+    #[must_use]
+    pub fn session_state(&self) -> &SessionState {
+        &self.session
+    }
+
+    /// Whether the whole horizon has been replayed.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.registered && self.next_t >= self.horizon
+    }
+
+    /// Metrics accumulated so far.
+    #[must_use]
+    pub fn metrics(&self) -> &MonitoringMetrics {
+        &self.metrics
+    }
+
+    /// Consumes the session, returning its metrics.
+    #[must_use]
+    pub fn into_metrics(self) -> MonitoringMetrics {
+        self.metrics
+    }
+
+    /// Replays the next timestamp of the protocol.
+    ///
+    /// # Panics
+    /// Panics when the POI tree is empty.
+    pub fn advance(&mut self, tree: &RTree) -> StepOutcome {
+        assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
+        if self.is_finished() {
+            return StepOutcome::Finished;
+        }
+
+        let t = self.next_t;
+        self.locations.clear();
+        self.locations.extend(self.group.iter().map(|traj| traj.at(t)));
+        self.session.observe(&self.locations);
+
+        if !self.registered {
+            // Query registration: every user reports her location once and receives the first
+            // answer (counted like any other update).
+            for _ in self.group {
+                self.metrics.traffic.record(Message::location_report());
+            }
+            self.compute_and_notify(tree);
+            self.registered = true;
+            self.next_t = t + 1;
+            return StepOutcome::Registered;
+        }
+
+        self.metrics.timestamps += 1;
+        self.next_t = t + 1;
+
+        let violators = self
+            .session
+            .last_answer()
+            .expect("a registered session always has an answer")
+            .violators(&self.locations);
+        if violators.is_empty() {
+            return StepOutcome::Quiet;
+        }
+
+        // Step 1: each violating user reports her location.
+        for _ in &violators {
+            self.metrics.traffic.record(Message::location_report());
+        }
+        // Step 2: the server probes every other user, who replies.
+        let others = self.group.len() - violators.len();
+        for _ in 0..others {
+            self.metrics.traffic.record(Message::probe());
+            self.metrics.traffic.record(Message::probe_reply());
+        }
+        // Step 3: recompute and notify everyone.
+        self.compute_and_notify(tree);
+        StepOutcome::Updated { violators: violators.len() }
+    }
+
+    /// Runs one safe-region computation through the engine and pushes the notifications.
+    fn compute_and_notify(&mut self, tree: &RTree) {
+        let ctx = EngineContext::new(tree, self.config.objective);
+        let start = Instant::now();
+        let answer = self.engine.compute(ctx, &self.locations, &mut self.session);
+        let elapsed = start.elapsed();
+        self.metrics.record_update(elapsed, &answer.stats);
+        debug_assert!(
+            answer.all_inside(&self.locations),
+            "fresh safe regions must contain the users"
+        );
+        for region in &answer.regions {
+            self.metrics
+                .traffic
+                .record(Message::result_notification(region, self.config.compress_regions));
+        }
+    }
 }
 
 /// Replays one user group against the server and collects metrics.
 ///
+/// This is the single-group compatibility wrapper over [`GroupSession`]: with the default
+/// configuration (no persistent buffers) the resulting updates, packets and work counters are
+/// bit-identical to the historical stateless monitoring loop.
+///
 /// # Panics
 /// Panics when the group is empty or the POI tree is empty.
 #[must_use]
-pub fn run_monitoring(tree: &RTree, group: &[Trajectory], config: &MonitorConfig) -> MonitoringMetrics {
-    assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+pub fn run_monitoring(
+    tree: &RTree,
+    group: &[Trajectory],
+    config: &MonitorConfig,
+) -> MonitoringMetrics {
     assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
-
-    let horizon = group.iter().map(Trajectory::len).min().unwrap_or(0);
-    let horizon = config.max_timestamps.map_or(horizon, |cap| horizon.min(cap));
-    let server = MpnServer::new(tree, config.objective, config.method);
-
-    let mut metrics = MonitoringMetrics::new(group.len());
-    let mut traffic = Traffic::default();
-    let mut predictors: Vec<HeadingPredictor> =
-        group.iter().map(|_| HeadingPredictor::new(config.heading_smoothing)).collect();
-
-    // Initial computation at t = 0: every user reports her location once and receives the
-    // first answer (this is the query registration, counted like any other update).
-    let mut locations: Vec<Point> = group.iter().map(|t| t.at(0)).collect();
-    for predictor in predictors.iter_mut().zip(&locations) {
-        predictor.0.observe(*predictor.1);
+    let mut session = GroupSession::new(group, *config);
+    while !session.is_finished() {
+        let _ = session.advance(tree);
     }
-    for _ in group {
-        traffic.record(Message::location_report());
-    }
-    let mut answer = compute_update(&server, &locations, &predictors, &mut metrics);
-    for region in &answer.regions {
-        traffic.record(Message::result_notification(region, config.compress_regions));
-    }
-
-    for t in 1..horizon {
-        metrics.timestamps += 1;
-        locations.clear();
-        locations.extend(group.iter().map(|traj| traj.at(t)));
-        for (predictor, loc) in predictors.iter_mut().zip(&locations) {
-            predictor.observe(*loc);
-        }
-
-        let violators = answer.violators(&locations);
-        if violators.is_empty() {
-            continue;
-        }
-        // Step 1: each violating user reports her location.
-        for _ in &violators {
-            traffic.record(Message::location_report());
-        }
-        // Step 2: the server probes every other user, who replies.
-        let others = group.len() - violators.len();
-        for _ in 0..others {
-            traffic.record(Message::probe());
-            traffic.record(Message::probe_reply());
-        }
-        // Step 3: recompute and notify everyone.
-        answer = compute_update(&server, &locations, &predictors, &mut metrics);
-        for region in &answer.regions {
-            traffic.record(Message::result_notification(region, config.compress_regions));
-        }
-    }
-
-    metrics.traffic = traffic;
-    metrics
-}
-
-fn compute_update(
-    server: &MpnServer<'_>,
-    locations: &[Point],
-    predictors: &[HeadingPredictor],
-    metrics: &mut MonitoringMetrics,
-) -> Answer {
-    let headings: Vec<Option<f64>> = predictors.iter().map(HeadingPredictor::predicted).collect();
-    let start = Instant::now();
-    let answer = server.compute_with_headings(locations, Some(&headings));
-    let elapsed = start.elapsed();
-    metrics.record_update(elapsed, &answer.stats);
-    debug_assert!(answer.all_inside(locations), "fresh safe regions must contain the users");
-    answer
+    session.into_metrics()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpn_mobility::waypoint::{random_waypoint, WaypointConfig};
     use mpn_mobility::poi::{clustered_pois, PoiConfig};
+    use mpn_mobility::waypoint::{random_waypoint, WaypointConfig};
 
     fn workload() -> (RTree, Vec<Trajectory>) {
-        let pois = clustered_pois(
-            &PoiConfig { count: 800, domain: 1000.0, ..PoiConfig::default() },
-            11,
-        );
+        let pois =
+            clustered_pois(&PoiConfig { count: 800, domain: 1000.0, ..PoiConfig::default() }, 11);
         let tree = RTree::bulk_load(&pois);
         let config = WaypointConfig { domain: 1000.0, speed_limit: 6.0, timestamps: 400 };
         let group: Vec<Trajectory> = (0..3).map(|i| random_waypoint(&config, 50 + i)).collect();
@@ -158,11 +292,8 @@ mod tests {
     #[test]
     fn monitoring_produces_consistent_metrics() {
         let (tree, group) = workload();
-        let metrics = run_monitoring(
-            &tree,
-            &group,
-            &MonitorConfig::new(Objective::Max, Method::circle()),
-        );
+        let metrics =
+            run_monitoring(&tree, &group, &MonitorConfig::new(Objective::Max, Method::circle()));
         assert_eq!(metrics.timestamps, 399);
         assert!(metrics.updates >= 1, "the initial computation counts as an update");
         assert!(metrics.updates <= metrics.timestamps + 1);
@@ -211,7 +342,8 @@ mod tests {
         let plain = run_monitoring(
             &tree,
             &group,
-            &MonitorConfig::new(Objective::Max, Method::tile_directed(0.8)).with_max_timestamps(120),
+            &MonitorConfig::new(Objective::Max, Method::tile_directed(0.8))
+                .with_max_timestamps(120),
         );
         let buffered = run_monitoring(
             &tree,
@@ -237,5 +369,49 @@ mod tests {
             &MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(50),
         );
         assert_eq!(metrics.timestamps, 49);
+    }
+
+    #[test]
+    fn sessions_report_their_protocol_steps() {
+        let (tree, group) = workload();
+        let mut session = GroupSession::new(
+            &group,
+            MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(60),
+        );
+        assert_eq!(session.horizon(), 60);
+        assert!(!session.is_finished());
+        assert_eq!(session.advance(&tree), StepOutcome::Registered);
+        let mut quiet = 0usize;
+        let mut updated = 0usize;
+        while !session.is_finished() {
+            match session.advance(&tree) {
+                StepOutcome::Quiet => quiet += 1,
+                StepOutcome::Updated { violators } => {
+                    assert!(violators >= 1 && violators <= session.group_size());
+                    updated += 1;
+                }
+                StepOutcome::Registered | StepOutcome::Finished => {
+                    panic!("unexpected outcome mid-run")
+                }
+            }
+        }
+        assert_eq!(session.advance(&tree), StepOutcome::Finished);
+        assert_eq!(quiet + updated, 59);
+        assert_eq!(session.metrics().updates, updated + 1);
+    }
+
+    #[test]
+    fn persistent_buffers_cut_rtree_queries_per_update() {
+        let (tree, group) = workload();
+        let base = MonitorConfig::new(Objective::Max, Method::tile_directed_buffered(0.8, 50))
+            .with_max_timestamps(200);
+        let stateless = run_monitoring(&tree, &group, &base);
+        let stateful = run_monitoring(&tree, &group, &base.with_persistent_buffers(true));
+        let stateless_q = stateless.stats.rtree_queries as f64 / stateless.updates as f64;
+        let stateful_q = stateful.stats.rtree_queries as f64 / stateful.updates as f64;
+        assert!(
+            stateful_q < stateless_q,
+            "persistent buffers must reduce index work per update ({stateful_q:.2} vs {stateless_q:.2})"
+        );
     }
 }

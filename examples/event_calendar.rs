@@ -12,7 +12,7 @@ use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{run_monitoring, MonitorConfig};
+use mpn::sim::{MonitorConfig, MonitoringEngine};
 
 fn main() {
     // The restaurant data set: 2,000 POIs clustered around a few neighbourhoods.
@@ -23,23 +23,39 @@ fn main() {
     let tree = RTree::bulk_load(&restaurants);
 
     // Three friends driving around town for 1,500 timestamps.
-    let taxi = TaxiConfig { domain: 5_000.0, speed_limit: 12.0, timestamps: 1_500, ..TaxiConfig::default() };
+    let taxi = TaxiConfig {
+        domain: 5_000.0,
+        speed_limit: 12.0,
+        timestamps: 1_500,
+        ..TaxiConfig::default()
+    };
     let group: Vec<Trajectory> = (0..3).map(|i| taxi_trajectory(&taxi, 90 + i)).collect();
 
     println!("== Event calendar: continuous restaurant recommendation ==\n");
     println!("restaurants: {}   users: {}   timestamps: {}\n", tree.len(), group.len(), 1_500);
 
-    println!(
-        "{:<10} {:>14} {:>16} {:>18} {:>14}",
-        "method", "updates", "update freq", "packets/timestamp", "mean time (us)"
-    );
-    for (label, method) in [
+    // One monitoring engine, one session per safe-region method over the same trajectories.
+    // A single shard keeps the sessions serial: this table compares per-update CPU times
+    // across methods, which must not be measured under cross-session core contention.
+    let mut engine = MonitoringEngine::new(&tree, 1);
+    let methods = [
         ("Circle", Method::circle()),
         ("Tile", Method::tile()),
         ("Tile-D", Method::tile_directed(std::f64::consts::FRAC_PI_4)),
         ("Tile-D-b", Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 100)),
-    ] {
-        let metrics = run_monitoring(&tree, &group, &MonitorConfig::new(Objective::Max, method));
+    ];
+    let ids: Vec<_> = methods
+        .iter()
+        .map(|(_, method)| engine.register(&group, MonitorConfig::new(Objective::Max, *method)))
+        .collect();
+    engine.run_to_completion();
+
+    println!(
+        "{:<10} {:>14} {:>16} {:>18} {:>14}",
+        "method", "updates", "update freq", "packets/timestamp", "mean time (us)"
+    );
+    for ((label, _), id) in methods.iter().zip(ids) {
+        let metrics = engine.group_metrics(id);
         println!(
             "{:<10} {:>14} {:>16.4} {:>18.3} {:>14.1}",
             label,

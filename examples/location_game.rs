@@ -12,7 +12,7 @@ use mpn::index::RTree;
 use mpn::mobility::network::{NetworkConfig, RoadNetwork};
 use mpn::mobility::poi::uniform_pois;
 use mpn::mobility::Trajectory;
-use mpn::sim::{run_monitoring, MonitorConfig};
+use mpn::sim::{MonitorConfig, MonitoringEngine};
 
 fn main() {
     // Game spots scattered uniformly over the map.
@@ -20,7 +20,8 @@ fn main() {
     let tree = RTree::bulk_load(&spots);
 
     // A road network and a team of four players of different speed classes.
-    let net_config = NetworkConfig { domain: 8_000.0, timestamps: 1_200, ..NetworkConfig::default() };
+    let net_config =
+        NetworkConfig { domain: 8_000.0, timestamps: 1_200, ..NetworkConfig::default() };
     let network = RoadNetwork::generate(&net_config, 5);
     let team: Vec<Trajectory> = (0..4).map(|i| network.trajectory(300 + i as u64, i)).collect();
 
@@ -42,20 +43,34 @@ fn main() {
         answer.optimal_index, answer.optimal_point, answer.optimal_dist
     );
 
-    // Continuous monitoring during the whole game.
-    println!("{:<10} {:>10} {:>14} {:>18}", "method", "updates", "update freq", "packets/timestamp");
-    for (label, method) in [
-        ("Circle", Method::circle()),
-        ("Tile-D", Method::tile_directed(0.8)),
-        ("Tile-D-b", Method::tile_directed_buffered(0.8, 100)),
-    ] {
-        let metrics = run_monitoring(&tree, &team, &MonitorConfig::new(Objective::Max, method));
+    // Continuous monitoring during the whole game: one engine session per method, and the
+    // buffered method additionally reuses its §5.4 GNN buffer across updates.
+    let mut engine = MonitoringEngine::with_default_shards(&tree);
+    let methods = [
+        ("Circle", MonitorConfig::new(Objective::Max, Method::circle())),
+        ("Tile-D", MonitorConfig::new(Objective::Max, Method::tile_directed(0.8))),
+        (
+            "Tile-D-b",
+            MonitorConfig::new(Objective::Max, Method::tile_directed_buffered(0.8, 100))
+                .with_persistent_buffers(true),
+        ),
+    ];
+    let ids: Vec<_> = methods.iter().map(|(_, config)| engine.register(&team, *config)).collect();
+    engine.run_to_completion();
+
+    println!(
+        "{:<10} {:>10} {:>14} {:>18} {:>14}",
+        "method", "updates", "update freq", "packets/timestamp", "rtree q/update"
+    );
+    for ((label, _), id) in methods.iter().zip(ids) {
+        let metrics = engine.group_metrics(id);
         println!(
-            "{:<10} {:>10} {:>14.4} {:>18.3}",
+            "{:<10} {:>10} {:>14.4} {:>18.3} {:>14.2}",
             label,
             metrics.updates,
             metrics.update_frequency(),
-            metrics.packets_per_timestamp()
+            metrics.packets_per_timestamp(),
+            metrics.stats.rtree_queries as f64 / metrics.updates as f64
         );
     }
 }

@@ -18,17 +18,13 @@ fn main() {
     let tree = RTree::bulk_load(&cafes);
 
     // Three friends at their current locations.
-    let friends = vec![
-        Point::new(150.0, 250.0),
-        Point::new(420.0, 300.0),
-        Point::new(300.0, 520.0),
-    ];
+    let friends =
+        vec![Point::new(150.0, 250.0), Point::new(420.0, 300.0), Point::new(300.0, 520.0)];
 
     println!("== Meeting point notification quickstart ==\n");
-    for (label, method) in [
-        ("Circle safe regions", Method::circle()),
-        ("Tile safe regions", Method::tile()),
-    ] {
+    for (label, method) in
+        [("Circle safe regions", Method::circle()), ("Tile safe regions", Method::tile())]
+    {
         let server = MpnServer::new(&tree, Objective::Max, method);
         let answer = server.compute(&friends);
         println!("{label}:");
@@ -51,14 +47,24 @@ fn main() {
     let answer = server.compute(&friends);
     let mut moved = friends.clone();
     moved[0] = Point::new(180.0, 270.0); // a small move
-    println!(
-        "after a small move, recomputation needed: {}",
-        !answer.all_inside(&moved)
-    );
+    println!("after a small move, recomputation needed: {}", !answer.all_inside(&moved));
     moved[0] = Point::new(900.0, 900.0); // a big move
     println!(
         "after a big move, recomputation needed:  {} (violators: {:?})",
         !answer.all_inside(&moved),
         answer.violators(&moved)
+    );
+
+    // For continuous monitoring the server keeps per-group state (heading predictors, the
+    // last answer) in a SessionState and threads it through every recomputation.
+    use mpn::core::SessionState;
+    let mut session = SessionState::new(friends.len(), 0.3);
+    session.observe(&friends);
+    let _ = server.compute_session(&friends, &mut session);
+    session.observe(&moved);
+    let stale = session.last_answer().expect("computed above");
+    println!(
+        "\nstateful session: last answer still valid after the big move: {}",
+        stale.all_inside(&moved)
     );
 }

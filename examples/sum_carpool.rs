@@ -7,12 +7,12 @@
 //! Run with: `cargo run --release --example sum_carpool`
 
 use mpn::core::{Method, MpnServer, Objective};
-use mpn::geom::{sum_dist_to_set, max_dist_to_set, Point};
+use mpn::geom::{max_dist_to_set, sum_dist_to_set, Point};
 use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{run_monitoring, MonitorConfig};
+use mpn::sim::{MonitorConfig, MonitoringEngine};
 
 fn main() {
     // Park-and-ride lots around the city.
@@ -50,15 +50,31 @@ fn main() {
     );
 
     // Continuous Sum-MPN monitoring while the commuters drive around.
-    let taxi = TaxiConfig { domain: 6_000.0, speed_limit: 10.0, timestamps: 1_000, ..TaxiConfig::default() };
+    let taxi = TaxiConfig {
+        domain: 6_000.0,
+        speed_limit: 10.0,
+        timestamps: 1_000,
+        ..TaxiConfig::default()
+    };
     let group: Vec<Trajectory> = (0..4).map(|i| taxi_trajectory(&taxi, 710 + i)).collect();
-    println!("{:<10} {:>10} {:>14} {:>18}", "method", "updates", "update freq", "packets/timestamp");
-    for (label, method) in [
+    let mut engine = MonitoringEngine::with_default_shards(&tree);
+    let methods = [
         ("Circle", Method::circle()),
         ("Tile", Method::tile()),
         ("Tile-D-b", Method::tile_directed_buffered(std::f64::consts::FRAC_PI_4, 100)),
-    ] {
-        let metrics = run_monitoring(&tree, &group, &MonitorConfig::new(Objective::Sum, method));
+    ];
+    let ids: Vec<_> = methods
+        .iter()
+        .map(|(_, method)| engine.register(&group, MonitorConfig::new(Objective::Sum, *method)))
+        .collect();
+    engine.run_to_completion();
+
+    println!(
+        "{:<10} {:>10} {:>14} {:>18}",
+        "method", "updates", "update freq", "packets/timestamp"
+    );
+    for ((label, _), id) in methods.iter().zip(ids) {
+        let metrics = engine.group_metrics(id);
         println!(
             "{:<10} {:>10} {:>14.4} {:>18.3}",
             label,

@@ -66,11 +66,14 @@ fn tile_methods_send_fewer_updates_than_circle_on_both_workload_kinds() {
         &NetworkConfig { domain: 4_000.0, timestamps: 400, ..NetworkConfig::default() },
         3,
     );
-    let network_group: Vec<Trajectory> = (0..3).map(|i| net.trajectory(800 + i, i as usize)).collect();
+    let network_group: Vec<Trajectory> =
+        (0..3).map(|i| net.trajectory(800 + i, i as usize)).collect();
 
     for group in [&taxi, &network_group] {
-        let circle = run_monitoring(&tree, group, &MonitorConfig::new(Objective::Max, Method::circle()));
-        let tile = run_monitoring(&tree, group, &MonitorConfig::new(Objective::Max, Method::tile()));
+        let circle =
+            run_monitoring(&tree, group, &MonitorConfig::new(Objective::Max, Method::circle()));
+        let tile =
+            run_monitoring(&tree, group, &MonitorConfig::new(Objective::Max, Method::tile()));
         let tile_d = run_monitoring(
             &tree,
             group,

@@ -1,0 +1,202 @@
+//! Parity and concurrency tests for the stateful monitoring engine.
+//!
+//! The refactor to `GroupSession` / `MonitoringEngine` must not change what the paper
+//! measures: this file replays the *legacy* stateless monitoring loop (the exact algorithm of
+//! the original `run_monitoring`, re-implemented here as the baseline) and asserts that
+//!
+//! * the compatibility wrapper reproduces its updates, packets and work counters exactly,
+//! * a parallel multi-group tick equals the serial single-group replays,
+//! * persistent §5.4 buffers strictly reduce R-tree queries per update for `Tile-D-b`.
+
+use mpn::core::{Method, MpnServer, Objective};
+use mpn::geom::{HeadingPredictor, Point};
+use mpn::index::RTree;
+use mpn::mobility::poi::{clustered_pois, PoiConfig};
+use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
+use mpn::mobility::Trajectory;
+use mpn::sim::{run_monitoring, Message, MonitorConfig, MonitoringEngine, Traffic};
+
+fn world(groups: usize, seed: u64) -> (RTree, Vec<Vec<Trajectory>>) {
+    let pois =
+        clustered_pois(&PoiConfig { count: 900, domain: 2_000.0, ..PoiConfig::default() }, seed);
+    let tree = RTree::bulk_load(&pois);
+    let taxi =
+        TaxiConfig { domain: 2_000.0, speed_limit: 8.0, timestamps: 220, ..TaxiConfig::default() };
+    let fleet = (0..groups)
+        .map(|g| (0..3).map(|i| taxi_trajectory(&taxi, seed + (g * 17 + i) as u64)).collect())
+        .collect();
+    (tree, fleet)
+}
+
+/// The protocol counters a monitoring run produces (everything except wall-clock times).
+#[derive(Debug, PartialEq, Eq)]
+struct Counters {
+    timestamps: usize,
+    updates: usize,
+    traffic: Traffic,
+    stats: mpn::core::ComputeStats,
+}
+
+/// The original stateless monitoring loop, verbatim from the pre-refactor implementation:
+/// per-update heading prediction, violation detection, step 1–3 message accounting, with the
+/// server recomputing from scratch every time.  This is the parity baseline.
+fn legacy_run_monitoring(tree: &RTree, group: &[Trajectory], config: &MonitorConfig) -> Counters {
+    let horizon = group.iter().map(Trajectory::len).min().unwrap_or(0);
+    let horizon = config.max_timestamps.map_or(horizon, |cap| horizon.min(cap));
+    let server = MpnServer::new(tree, config.objective, config.method);
+
+    let mut timestamps = 0usize;
+    let mut updates = 0usize;
+    let mut stats = mpn::core::ComputeStats::default();
+    let mut traffic = Traffic::default();
+    let mut predictors: Vec<HeadingPredictor> =
+        group.iter().map(|_| HeadingPredictor::new(config.heading_smoothing)).collect();
+
+    let mut locations: Vec<Point> = group.iter().map(|t| t.at(0)).collect();
+    for (predictor, location) in predictors.iter_mut().zip(&locations) {
+        predictor.observe(*location);
+    }
+    for _ in group {
+        traffic.record(Message::location_report());
+    }
+    let headings: Vec<Option<f64>> = predictors.iter().map(HeadingPredictor::predicted).collect();
+    let mut answer = server.compute_with_headings(&locations, Some(&headings));
+    updates += 1;
+    stats.absorb(&answer.stats);
+    for region in &answer.regions {
+        traffic.record(Message::result_notification(region, config.compress_regions));
+    }
+
+    for t in 1..horizon {
+        timestamps += 1;
+        locations.clear();
+        locations.extend(group.iter().map(|traj| traj.at(t)));
+        for (predictor, location) in predictors.iter_mut().zip(&locations) {
+            predictor.observe(*location);
+        }
+
+        let violators = answer.violators(&locations);
+        if violators.is_empty() {
+            continue;
+        }
+        for _ in &violators {
+            traffic.record(Message::location_report());
+        }
+        let others = group.len() - violators.len();
+        for _ in 0..others {
+            traffic.record(Message::probe());
+            traffic.record(Message::probe_reply());
+        }
+        let headings: Vec<Option<f64>> =
+            predictors.iter().map(HeadingPredictor::predicted).collect();
+        answer = server.compute_with_headings(&locations, Some(&headings));
+        updates += 1;
+        stats.absorb(&answer.stats);
+        for region in &answer.regions {
+            traffic.record(Message::result_notification(region, config.compress_regions));
+        }
+    }
+
+    Counters { timestamps, updates, traffic, stats }
+}
+
+fn counters_of(metrics: &mpn::sim::MonitoringMetrics) -> Counters {
+    Counters {
+        timestamps: metrics.timestamps,
+        updates: metrics.updates,
+        traffic: metrics.traffic,
+        stats: metrics.stats,
+    }
+}
+
+#[test]
+fn wrapper_reproduces_the_legacy_loop_exactly_for_every_method() {
+    let (tree, fleet) = world(1, 3);
+    let group = &fleet[0];
+    let theta = std::f64::consts::FRAC_PI_4;
+    for objective in [Objective::Max, Objective::Sum] {
+        for method in [
+            Method::circle(),
+            Method::tile(),
+            Method::tile_directed(theta),
+            Method::tile_directed_buffered(theta, 60),
+        ] {
+            let config = MonitorConfig::new(objective, method).with_max_timestamps(150);
+            let legacy = legacy_run_monitoring(&tree, group, &config);
+            let session = run_monitoring(&tree, group, &config);
+            assert_eq!(
+                legacy,
+                counters_of(&session),
+                "{objective:?}/{} diverged from the legacy loop",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_path_matches_the_wrapper_for_a_single_group() {
+    let (tree, fleet) = world(1, 9);
+    let config =
+        MonitorConfig::new(Objective::Max, Method::tile_directed(0.8)).with_max_timestamps(120);
+    let wrapper = run_monitoring(&tree, &fleet[0], &config);
+
+    let mut engine = MonitoringEngine::new(&tree, 4);
+    let id = engine.register(&fleet[0], config);
+    engine.run_to_completion();
+    assert_eq!(counters_of(&wrapper), counters_of(engine.group_metrics(id)));
+}
+
+#[test]
+fn parallel_eight_group_tick_matches_eight_serial_runs() {
+    let (tree, fleet) = world(8, 21);
+    let config = MonitorConfig::new(Objective::Max, Method::tile()).with_max_timestamps(100);
+
+    let serial: Vec<Counters> =
+        fleet.iter().map(|g| counters_of(&run_monitoring(&tree, g, &config))).collect();
+
+    let mut engine = MonitoringEngine::new(&tree, 8);
+    assert_eq!(engine.shard_count(), 8);
+    let ids: Vec<_> = fleet.iter().map(|g| engine.register(g, config)).collect();
+    assert!(engine.group_count() >= 8, "the fleet must exercise at least 8 concurrent groups");
+
+    // Drive the fleet tick by tick (each tick advances all 8 groups on 8 shard threads).
+    let mut ticks = 0;
+    while !engine.is_finished() {
+        let summary = engine.tick();
+        assert!(summary.advanced <= 8);
+        ticks += 1;
+    }
+    assert_eq!(ticks, 100);
+
+    for (id, expected) in ids.iter().zip(&serial) {
+        assert_eq!(expected, &counters_of(engine.group_metrics(*id)), "group {id} diverged");
+    }
+
+    // Fleet aggregation is the sum of the parts.
+    let fleet_metrics = engine.fleet_metrics();
+    assert_eq!(fleet_metrics.updates, serial.iter().map(|c| c.updates).sum::<usize>());
+    assert_eq!(
+        fleet_metrics.traffic.packets,
+        serial.iter().map(|c| c.traffic.packets).sum::<usize>()
+    );
+}
+
+#[test]
+fn persistent_buffers_cut_tile_d_b_index_work_versus_the_stateless_path() {
+    let (tree, fleet) = world(1, 33);
+    let base = MonitorConfig::new(Objective::Max, Method::tile_directed_buffered(0.8, 100))
+        .with_max_timestamps(200);
+
+    let stateless = run_monitoring(&tree, &fleet[0], &base);
+    let stateful = run_monitoring(&tree, &fleet[0], &base.with_persistent_buffers(true));
+
+    let stateless_q = stateless.stats.rtree_queries as f64 / stateless.updates as f64;
+    let stateful_q = stateful.stats.rtree_queries as f64 / stateful.updates as f64;
+    assert!(
+        stateful_q < stateless_q,
+        "persistent buffers must reduce R-tree queries per update ({stateful_q:.2} vs {stateless_q:.2})"
+    );
+    // The stateless buffered path issues exactly two queries per update (seed + buffer).
+    assert!((stateless_q - 2.0).abs() < 1e-9);
+}

@@ -50,11 +50,8 @@ fn check_invariant(
     prop_assert!(answer.all_inside(users));
 
     for &(u, v) in samples {
-        let instance: Vec<Point> = answer
-            .regions
-            .iter()
-            .map(|region| sample_in_region(region, u, v))
-            .collect();
+        let instance: Vec<Point> =
+            answer.regions.iter().map(|region| sample_in_region(region, u, v)).collect();
         for (region, l) in answer.regions.iter().zip(&instance) {
             prop_assert!(region.contains(*l), "sampled location escaped its region");
         }
