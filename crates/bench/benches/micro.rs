@@ -10,6 +10,7 @@
 //!
 //! * safe-region computation cost per engine (Circle vs Tile vs Tile-D vs Tile-D-b),
 //! * stateful vs stateless Tile-D-b sessions (the §5.4 buffer-reuse win),
+//! * quiet-tick executor overhead: persistent worker pool vs per-tick scoped threads,
 //! * GT-Verify vs IT-Verify (the grouping optimisation of Section 5.3),
 //! * index pruning on/off (Theorem 3),
 //! * R-tree GNN query cost,
@@ -25,6 +26,8 @@ use mpn_core::{
 use mpn_geom::Point;
 use mpn_index::{Aggregate, GnnSearch, RTree};
 use mpn_mobility::poi::{clustered_pois, PoiConfig};
+use mpn_mobility::Trajectory;
+use mpn_sim::{MonitorConfig, MonitoringEngine, TickExecutor};
 
 fn poi_tree(n: usize) -> RTree {
     let pois = clustered_pois(&PoiConfig { count: n, domain: 10_000.0, ..PoiConfig::default() }, 7);
@@ -125,6 +128,41 @@ fn main() {
         b("session/tile_d_b_persistent", &mut || {
             black_box(engine.compute(ctx, black_box(&group), &mut session));
         });
+    }
+
+    // Executor overhead on quiet ticks: a fleet of stationary groups never violates its safe
+    // regions after registration, so every tick is pure violation checking — the per-tick
+    // cost is dominated by how the executor wakes the shard workers.  The persistent pool
+    // parks its workers between ticks; the scoped baseline spawns and joins a thread per
+    // live shard every tick.
+    {
+        let tree = poi_tree(2_000);
+        let stationary: Vec<Trajectory> =
+            users(3).iter().map(|p| Trajectory::new(vec![*p; 400_000])).collect();
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let mut pool_engine = MonitoringEngine::with_executor(&tree, 8, TickExecutor::WorkerPool);
+        let mut scoped_engine =
+            MonitoringEngine::with_executor(&tree, 8, TickExecutor::ScopedThreads);
+        for engine in [&mut pool_engine, &mut scoped_engine] {
+            // 32 groups sharing one trajectory slice (the engine borrows, never copies).
+            for _ in 0..32 {
+                engine.register(&stationary, config);
+            }
+            engine.tick(); // registration tick: every group's initial computation, once
+        }
+        b("executor/quiet_tick_pool", &mut || {
+            black_box(pool_engine.tick());
+        });
+        b("executor/quiet_tick_scoped_threads", &mut || {
+            black_box(scoped_engine.tick());
+        });
+        for engine in [&pool_engine, &scoped_engine] {
+            assert!(
+                !engine.is_finished(),
+                "horizon exhausted mid-bench: quiet ticks were no longer measured — raise the \
+                 stationary trajectory length"
+            );
+        }
     }
 
     // Verifier and pruning ablations.

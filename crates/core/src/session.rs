@@ -105,6 +105,19 @@ impl SessionState {
         self.buffer.is_some()
     }
 
+    /// Releases everything the session retains between updates: the cached §5.4 GNN buffer
+    /// and the last [`Answer`] (whose per-user region vectors dominate the session's
+    /// footprint).  The heading predictors — a few floats per user — are untouched; callers
+    /// tearing a session down fully (e.g. a monitoring server's deregistration path) drop the
+    /// whole `SessionState` right after.
+    ///
+    /// Called when a group deregisters from a long-lived monitoring server, so teardown of
+    /// the heavy state is explicit rather than relying on the session being dropped promptly.
+    pub fn reclaim(&mut self) {
+        self.buffer = None;
+        self.last_answer = None;
+    }
+
     /// Stores the answer of a completed computation and returns a reference to it (called by
     /// the engines).  Taking the answer by value avoids cloning the per-user region vectors
     /// on every update — the legacy loop kept a single answer by value, and this sits inside
@@ -148,6 +161,30 @@ mod tests {
     fn observe_rejects_wrong_group_size() {
         let mut session = SessionState::new(3, 0.3);
         session.observe(&[Point::ORIGIN]);
+    }
+
+    #[test]
+    fn reclaim_drops_the_retained_state_but_keeps_the_predictors() {
+        let mut session = SessionState::new(2, 0.4);
+        session.observe(&[Point::new(0.0, 0.0), Point::new(1.0, 1.0)]);
+        session.observe(&[Point::new(1.0, 0.0), Point::new(1.0, 2.0)]);
+        let answer = Answer {
+            optimal_index: 0,
+            optimal_point: Point::ORIGIN,
+            optimal_dist: 1.0,
+            regions: Vec::new(),
+            stats: crate::ComputeStats::default(),
+        };
+        session.record_answer(answer);
+        assert!(session.last_answer().is_some());
+        session.reclaim();
+        assert!(session.last_answer().is_none(), "reclaim drops the last answer");
+        assert!(!session.has_cached_buffer(), "reclaim drops any cached buffer");
+        assert_eq!(session.group_size(), 2);
+        assert!(
+            session.predicted_headings().iter().all(Option::is_some),
+            "heading predictors stay warm across reclaim"
+        );
     }
 
     #[test]

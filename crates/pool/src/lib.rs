@@ -1,0 +1,337 @@
+//! A persistent, scoped worker pool built only on `std`.
+//!
+//! The monitoring engine in `mpn-sim` advances its shards in parallel on every tick.  Doing
+//! that with [`std::thread::scope`] means spawning and joining one OS thread per shard per
+//! tick — fine when a tick carries heavy safe-region computations, but measurable overhead on
+//! quiet ticks where every shard only runs violation checks.  [`WorkerPool`] keeps the shard
+//! workers alive instead: threads are spawned once, park on a channel between ticks, and a
+//! [`scoped`](WorkerPool::scoped) call acts as the tick barrier — it hands one closure per
+//! shard to the workers and blocks until all of them completed, so borrowed data (the shards,
+//! the POI tree) may safely flow into the jobs.
+//!
+//! The external `rayon` crate would be the natural choice, but this workspace builds without
+//! network access.  The pool follows the well-trodden `scoped_threadpool` design instead:
+//!
+//! * jobs are boxed closures whose borrow lifetime is erased to `'static` before crossing the
+//!   channel — the **only** `unsafe` in the workspace;
+//! * soundness comes from the barrier: [`Scope`] joins every submitted job before it is
+//!   dropped (including during unwinding), so no job can outlive the borrows it captures;
+//! * a job that panics is caught on the worker (keeping the pool alive), recorded, and the
+//!   panic is re-raised on the caller of [`scoped`](WorkerPool::scoped) after the barrier.
+//!
+//! Workers are distributed jobs round-robin over per-worker channels; with one job per worker
+//! (the engine's one-job-per-live-shard pattern) every worker receives exactly one wake-up
+//! per barrier.  [`shutdown`](WorkerPool::shutdown) (also run on drop) closes the channels
+//! and joins the threads, reporting whether every worker exited cleanly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job crossing to a worker: boxed so it can be sent, lifetime-erased by the scope.
+type Thunk<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+/// State shared between the pool handle and its worker threads: the completion barrier.
+#[derive(Debug)]
+struct Barrier {
+    /// Jobs submitted to the current scope that have not completed yet.
+    pending: Mutex<usize>,
+    /// Signalled whenever `pending` drops to zero.
+    all_done: Condvar,
+    /// Set by a worker whose job panicked; drained (and re-raised) by `scoped`.
+    job_panicked: AtomicBool,
+}
+
+/// One long-lived worker: its job channel and its join handle.
+#[derive(Debug)]
+struct Worker {
+    /// `None` once the pool has shut down (closing the channel stops the thread).
+    sender: Option<Sender<Thunk<'static>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A pool of persistent worker threads executing borrowed jobs scope by scope.
+///
+/// See the [module docs](self) for the design.  The pool is deliberately minimal: no work
+/// stealing, no nested scopes, one scope at a time (enforced by `&mut self`).
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+    barrier: Arc<Barrier>,
+    /// Round-robin cursor for job distribution.
+    next_worker: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` parked worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let barrier = Arc::new(Barrier {
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            job_panicked: AtomicBool::new(false),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let (sender, receiver) = channel::<Thunk<'static>>();
+                let barrier = Arc::clone(&barrier);
+                let handle = std::thread::Builder::new()
+                    .name(format!("mpn-pool-{i}"))
+                    .spawn(move || {
+                        // Park on the channel; exit when the pool closes it.
+                        while let Ok(job) = receiver.recv() {
+                            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                                barrier.job_panicked.store(true, Ordering::SeqCst);
+                            }
+                            let mut pending = barrier
+                                .pending
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            *pending -= 1;
+                            if *pending == 0 {
+                                barrier.all_done.notify_all();
+                            }
+                        }
+                    })
+                    .expect("failed to spawn pool worker thread");
+                Worker { sender: Some(sender), handle: Some(handle) }
+            })
+            .collect();
+        Self { workers, barrier, next_worker: 0 }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs a batch of borrowed jobs: `f` submits them via [`Scope::execute`], and `scoped`
+    /// returns only after every submitted job completed (the tick barrier).
+    ///
+    /// # Panics
+    /// Re-raises a panic from any job (after the barrier, so borrows stay sound), and panics
+    /// when called on a pool that was already [`shutdown`](WorkerPool::shutdown).
+    pub fn scoped<'pool, 'scope, R>(
+        &'pool mut self,
+        f: impl FnOnce(&mut Scope<'pool, 'scope>) -> R,
+    ) -> R {
+        let barrier = Arc::clone(&self.barrier);
+        // A previous scope whose *body* panicked may have left a job-panic report undrained
+        // (the re-raise below is skipped during unwinding — that scope's own panic already
+        // propagated).  Don't charge it to this scope's jobs.
+        barrier.job_panicked.store(false, Ordering::SeqCst);
+        let mut scope = Scope { pool: self, _scope: std::marker::PhantomData };
+        let result = f(&mut scope);
+        scope.join_all();
+        drop(scope); // explicit: the Drop barrier has already been satisfied
+        if barrier.job_panicked.swap(false, Ordering::SeqCst) {
+            panic!("a worker-pool job panicked");
+        }
+        result
+    }
+
+    /// Closes the job channels and joins every worker; returns whether all of them exited
+    /// cleanly (no worker died, no unreported job panic).  Idempotent.
+    pub fn shutdown(&mut self) -> bool {
+        for worker in &mut self.workers {
+            worker.sender.take();
+        }
+        let mut clean = true;
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                clean &= handle.join().is_ok();
+            }
+        }
+        clean && !self.barrier.job_panicked.load(Ordering::SeqCst)
+    }
+
+    /// Whether [`shutdown`](WorkerPool::shutdown) has completed (all workers joined).
+    #[must_use]
+    pub fn is_shut_down(&self) -> bool {
+        self.workers.iter().all(|w| w.handle.is_none())
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A batch of jobs tied to one [`WorkerPool::scoped`] call.
+///
+/// Dropping the scope joins all outstanding jobs, which is what makes handing borrowed data
+/// to the workers sound even when the scope body unwinds.
+pub struct Scope<'pool, 'scope> {
+    pool: &'pool mut WorkerPool,
+    /// Invariant over `'scope` (mirrors `scoped_threadpool`): prevents the borrow checker
+    /// from shrinking the scope lifetime below the borrows captured by submitted jobs.
+    _scope: std::marker::PhantomData<std::cell::Cell<&'scope mut ()>>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Submits one job to the next worker (round-robin).  The job may borrow anything that
+    /// outlives `'scope`; it is guaranteed to finish before `scoped` returns.
+    pub fn execute<F: FnOnce() + Send + 'scope>(&mut self, f: F) {
+        // Check the target worker is alive *before* bumping the barrier count: a panic on a
+        // pool that was already shut down must not strand `pending` above zero, or the
+        // unwinding scope's join barrier would wait forever instead of propagating the panic.
+        let w = self.pool.next_worker % self.pool.workers.len();
+        assert!(self.pool.workers[w].sender.is_some(), "worker pool already shut down");
+        self.pool.next_worker = self.pool.next_worker.wrapping_add(1);
+        {
+            let mut pending =
+                self.pool.barrier.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *pending += 1;
+        }
+        // The count must be raised before the send — a worker may finish the job (and
+        // decrement) before this thread would otherwise get around to incrementing.
+        let job: Thunk<'scope> = Box::new(f);
+        // SAFETY: the lifetime of the boxed job is erased so it can cross the channel to a
+        // long-lived worker thread.  `join_all` runs before `'scope` ends on every path —
+        // `scoped` calls it after the body, and `Scope::drop` repeats it during unwinding —
+        // so the job (and thus every borrow it captures) never outlives `'scope`.
+        let job: Thunk<'static> =
+            unsafe { std::mem::transmute::<Thunk<'scope>, Thunk<'static>>(job) };
+        let sender = self.pool.workers[w].sender.as_ref().expect("liveness checked above");
+        if sender.send(job).is_err() {
+            // The job never reached a worker: roll the barrier back before reporting, so the
+            // scope can still join what *was* submitted.
+            let mut pending =
+                self.pool.barrier.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            *pending -= 1;
+            drop(pending);
+            panic!("worker thread exited while the pool was live");
+        }
+    }
+
+    /// Blocks until every job submitted to this scope has completed.
+    fn join_all(&self) {
+        let mut pending =
+            self.pool.barrier.pending.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        while *pending > 0 {
+            pending = self
+                .pool
+                .barrier
+                .all_done
+                .wait(pending)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Drop for Scope<'_, '_> {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn jobs_mutate_borrowed_data_through_the_barrier() {
+        let mut pool = WorkerPool::new(4);
+        assert_eq!(pool.worker_count(), 4);
+        let mut values = vec![0usize; 16];
+        pool.scoped(|scope| {
+            for (i, slot) in values.iter_mut().enumerate() {
+                scope.execute(move || *slot = i * i);
+            }
+        });
+        assert_eq!(values, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scopes_are_reusable_and_workers_persist() {
+        let mut pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.scoped(|scope| {
+                for _ in 0..2 {
+                    scope.execute(|| {
+                        counter.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn empty_scopes_are_fine() {
+        let mut pool = WorkerPool::new(3);
+        let out = pool.scoped(|_| 7);
+        assert_eq!(out, 7);
+    }
+
+    #[test]
+    fn zero_thread_request_is_clamped() {
+        let mut pool = WorkerPool::new(0);
+        assert_eq!(pool.worker_count(), 1);
+        let mut x = 0;
+        pool.scoped(|scope| scope.execute(|| x = 5));
+        assert_eq!(x, 5);
+    }
+
+    #[test]
+    fn job_panics_are_reraised_after_the_barrier() {
+        let mut pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("job boom"));
+                scope.execute(|| {});
+            });
+        }));
+        assert!(caught.is_err(), "the job panic must propagate to the scope caller");
+        // The pool survives a job panic and keeps working.
+        let mut x = 0;
+        pool.scoped(|scope| scope.execute(|| x = 1));
+        assert_eq!(x, 1);
+        assert!(pool.shutdown(), "a caught-and-reported panic leaves the shutdown clean");
+    }
+
+    #[test]
+    fn execute_after_shutdown_panics_instead_of_hanging() {
+        let mut pool = WorkerPool::new(2);
+        assert!(pool.shutdown());
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| scope.execute(|| {}));
+        }));
+        // The panic must propagate: the barrier count is only raised after the liveness
+        // check, so the unwinding scope's join does not wait for a job no worker ever saw.
+        assert!(caught.is_err(), "submitting to a shut-down pool is a panic, not a hang");
+    }
+
+    #[test]
+    fn a_panicking_scope_body_does_not_poison_the_next_scope() {
+        let mut pool = WorkerPool::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("job boom"));
+                panic!("body boom");
+            });
+        }));
+        assert!(caught.is_err());
+        // The body panic propagated; the undrained job-panic report must not be charged to
+        // the next, fully successful scope.
+        let mut x = 0;
+        pool.scoped(|scope| scope.execute(|| x = 1));
+        assert_eq!(x, 1);
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_idempotent() {
+        let mut pool = WorkerPool::new(4);
+        pool.scoped(|scope| scope.execute(|| {}));
+        assert!(!pool.is_shut_down());
+        assert!(pool.shutdown());
+        assert!(pool.is_shut_down());
+        assert!(pool.shutdown(), "second shutdown is a clean no-op");
+    }
+}

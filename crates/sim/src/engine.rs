@@ -1,30 +1,65 @@
-//! The multi-group monitoring engine: many [`GroupSession`]s, sharded and ticked in parallel.
+//! The multi-group monitoring engine: many [`GroupSession`]s, sharded, ticked by a
+//! persistent worker pool, with dynamic fleet membership.
 //!
-//! A production meeting-point service monitors thousands of groups against one POI index.
-//! [`MonitoringEngine`] holds the registered sessions in `S` shards (groups are assigned
-//! round-robin by id) and advances every live session one timestamp per [`tick`]
-//! (MonitoringEngine::tick), with one worker thread per shard via [`std::thread::scope`].
-//! Groups are fully independent — each session owns its engine, its
-//! [`SessionState`](mpn_core::SessionState) and its metrics — so a parallel tick produces
-//! exactly the counters of the equivalent serial replay.
+//! A production meeting-point service is a long-lived server: thousands of groups come and go
+//! while the POI index stays hot, and the server's cost is dominated by per-update work, not
+//! setup.  [`MonitoringEngine`] models exactly that:
 //!
-//! The external `rayon` crate would be the natural executor here, but this workspace builds
-//! without network access, so the shard fan-out uses scoped threads from `std`; swapping in a
-//! work-stealing pool is a local change to [`MonitoringEngine::tick`].
+//! * **Sharded sessions.**  Registered sessions live in `S` shards; every
+//!   [`tick`](MonitoringEngine::tick) advances all live sessions one timestamp, one worker per
+//!   live shard.  Groups are fully independent — each session owns its engine, its
+//!   [`SessionState`](mpn_core::SessionState) and its metrics — so a parallel tick produces
+//!   exactly the counters of the equivalent serial replay, regardless of shard count or
+//!   executor.
+//! * **Persistent executor.**  The default executor is an [`mpn_pool::WorkerPool`]: one
+//!   long-lived thread per shard, parked on a channel between ticks and woken by the tick
+//!   barrier ([`WorkerPool::scoped`](mpn_pool::WorkerPool::scoped)).  The historical
+//!   spawn-and-join executor is still available as [`TickExecutor::ScopedThreads`] — it is
+//!   the parity baseline (`tests/engine_parity.rs`) and the comparison point of the
+//!   `executor/quiet_tick_*` micro-benchmarks.  Swapping executors remains local to
+//!   [`MonitoringEngine::tick`]; counters are identical either way.
+//! * **Fleet lifecycle.**  Beyond late [`register`](MonitoringEngine::register)-ation, groups
+//!   can [`deregister`](MonitoringEngine::deregister) mid-run (their session state — heading
+//!   predictors, §5.4 buffer, last answer — is reclaimed, their metrics are retained for
+//!   fleet accounting) and later [`rejoin`](MonitoringEngine::rejoin) under their old id.
+//!   Freed ids are kept in a free-list over the shard directory and reused; new groups are
+//!   placed on the **least-loaded** shard (not round-robin), so a fleet whose long-horizon
+//!   groups skew onto a few shards rebalances as membership churns.
 //!
 //! Sessions may have different horizons (and even different methods/objectives); a session
 //! past its horizon is skipped.  [`run_to_completion`](MonitoringEngine::run_to_completion)
-//! ticks until every session finished, and the per-group / fleet-wide metrics are available
-//! throughout.
+//! ticks until every registered session finished, and per-group / fleet-wide metrics
+//! (including those of deregistered groups) are available throughout via
+//! [`group_metrics`](MonitoringEngine::group_metrics) /
+//! [`fleet_metrics`](MonitoringEngine::fleet_metrics) and per-shard load via
+//! [`shard_loads`](MonitoringEngine::shard_loads).
 
 use mpn_index::RTree;
 use mpn_mobility::Trajectory;
+use mpn_pool::WorkerPool;
 
-use crate::metrics::MonitoringMetrics;
+use crate::metrics::{MonitoringMetrics, ShardLoad};
 use crate::monitor::{GroupSession, MonitorConfig, StepOutcome};
 
-/// Identifier of a registered group (dense, in registration order).
+/// Identifier of a registered group.
+///
+/// Ids are dense and handed out in registration order; the id of a
+/// [`deregister`](MonitoringEngine::deregister)ed group goes to a free-list and is reused by
+/// the next [`register`](MonitoringEngine::register) / [`rejoin`](MonitoringEngine::rejoin),
+/// so an id is only unique among the groups alive at one time.
 pub type GroupId = usize;
+
+/// Which executor advances the live shards of a tick.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TickExecutor {
+    /// Persistent worker pool: one long-lived thread per shard, parked between ticks (the
+    /// default — no per-tick thread churn).
+    #[default]
+    WorkerPool,
+    /// The historical executor: spawn one scoped thread per live shard on every tick and join
+    /// them before the tick returns.  Kept as the parity/benchmark baseline.
+    ScopedThreads,
+}
 
 /// Aggregate outcome of one fleet-wide tick.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,14 +74,22 @@ pub struct TickSummary {
     pub violators: usize,
     /// Sessions that performed their initial registration during this tick.
     pub registered: usize,
-    /// Sessions finished after this tick (fleet-wide total, not per-tick delta).
+    /// Sessions that have replayed their whole horizon, totalled over every **currently
+    /// registered** session (not a per-tick delta).  A deregistered group leaves this total —
+    /// it is accounted under [`retired`](TickSummary::retired) instead.
     pub finished: usize,
+    /// Deregistered groups whose retired metrics are still attributed to their id (an id
+    /// reused by `register`/`rejoin` leaves this total; its old epoch then only feeds the
+    /// fleet-wide reclaimed-epochs aggregate).
+    pub retired: usize,
 }
 
 /// One shard: a slice of the fleet advanced by a single worker per tick.
 #[derive(Debug, Default)]
 struct Shard<'g> {
     sessions: Vec<(GroupId, GroupSession<'g>)>,
+    /// Ticks during which this shard had no live session (no worker was woken for it).
+    idle_ticks: usize,
 }
 
 impl Shard<'_> {
@@ -75,18 +118,39 @@ impl Shard<'_> {
     }
 }
 
-/// A sharded, stateful server monitoring many moving groups over one POI index.
+/// One entry of the shard directory: where a group's session lives, or what it left behind.
+#[derive(Debug)]
+enum DirectoryEntry {
+    /// The group is registered: its session sits at `shards[shard].sessions[slot]`.
+    Active { shard: usize, slot: usize },
+    /// The group deregistered: its session was torn down, these metrics remain for fleet
+    /// accounting until the id is reused.
+    Retired(Box<MonitoringMetrics>),
+}
+
+/// A sharded, stateful server monitoring a churning fleet of moving groups over one POI index.
 #[derive(Debug)]
 pub struct MonitoringEngine<'a, 'g> {
     tree: &'a RTree,
     shards: Vec<Shard<'g>>,
-    /// `id -> (shard, index within shard)`, in registration order.
-    directory: Vec<(usize, usize)>,
+    /// `id -> session location (or retired metrics)`, indexed by [`GroupId`].
+    directory: Vec<DirectoryEntry>,
+    /// Ids of deregistered groups, available for reuse (every entry is `Retired` in the
+    /// directory, and vice versa).
+    free_ids: Vec<GroupId>,
+    /// Aggregate metrics of past epochs whose ids were reused: folded out of the directory by
+    /// `place` so fleet-wide totals never shrink, even though per-id attribution is gone.
+    reclaimed: MonitoringMetrics,
     clock: usize,
+    executor: TickExecutor,
+    /// Present iff `executor == WorkerPool` and there is more than one shard (a single shard
+    /// always ticks inline).
+    pool: Option<WorkerPool>,
 }
 
 impl<'a, 'g> MonitoringEngine<'a, 'g> {
-    /// Creates an engine over the POI tree with `num_shards` worker shards.
+    /// Creates an engine over the POI tree with `num_shards` worker shards and the default
+    /// persistent-pool executor.
     ///
     /// `num_shards` is clamped to at least 1.  One shard means fully serial ticks.
     ///
@@ -94,13 +158,32 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
     /// Panics when the POI tree is empty.
     #[must_use]
     pub fn new(tree: &'a RTree, num_shards: usize) -> Self {
+        Self::with_executor(tree, num_shards, TickExecutor::default())
+    }
+
+    /// Creates an engine with an explicit tick executor.
+    ///
+    /// With [`TickExecutor::WorkerPool`] the engine spawns one persistent worker per shard up
+    /// front (none for a single shard, which always ticks inline); with
+    /// [`TickExecutor::ScopedThreads`] no threads outlive a tick.
+    ///
+    /// # Panics
+    /// Panics when the POI tree is empty.
+    #[must_use]
+    pub fn with_executor(tree: &'a RTree, num_shards: usize, executor: TickExecutor) -> Self {
         assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
         let num_shards = num_shards.max(1);
+        let pool = (executor == TickExecutor::WorkerPool && num_shards > 1)
+            .then(|| WorkerPool::new(num_shards));
         Self {
             tree,
             shards: (0..num_shards).map(|_| Shard::default()).collect(),
             directory: Vec::new(),
+            free_ids: Vec::new(),
+            reclaimed: MonitoringMetrics::new(0),
             clock: 0,
+            executor,
+            pool,
         }
     }
 
@@ -113,6 +196,11 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
 
     /// Registers a group for monitoring and returns its id.
     ///
+    /// The group is placed on the currently **least-loaded** shard (fewest registered
+    /// sessions, lowest index on ties); its id is popped from the free-list of deregistered
+    /// ids when one is available (folding that id's retired metrics record into the
+    /// reclaimed-epochs aggregate), else freshly allocated.
+    ///
     /// Groups registered after ticking has started replay their trajectories from their own
     /// `t = 0` (sessions are self-clocked); their registration message is counted on the next
     /// tick.
@@ -121,26 +209,126 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
     /// and the replay only ever reads locations per timestamp.
     ///
     /// # Panics
-    /// Panics when the group is empty.
+    /// Panics when the group is empty (before any engine bookkeeping is touched).
     pub fn register(&mut self, group: &'g [Trajectory], config: MonitorConfig) -> GroupId {
-        let id = self.directory.len();
-        let shard = id % self.shards.len();
-        let slot = self.shards[shard].sessions.len();
-        self.shards[shard].sessions.push((id, GroupSession::new(group, config)));
-        self.directory.push((shard, slot));
+        assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+        let id = self.free_ids.pop().unwrap_or_else(|| {
+            // Placeholder entry; `place` overwrites it with the real location.
+            self.directory.push(DirectoryEntry::Active { shard: 0, slot: 0 });
+            self.directory.len() - 1
+        });
+        self.place(id, group, config);
         id
     }
 
-    /// Number of registered groups.
+    /// Removes a group from monitoring, reclaiming its session state.
+    ///
+    /// The session is torn down via [`GroupSession::retire`] (dropping the cached §5.4 GNN
+    /// buffer and last answer along with the heading predictors) and its accumulated metrics
+    /// are returned.  A copy of those metrics — compacted via
+    /// [`MonitoringMetrics::into_compact`], so dead epochs never hold per-update sample
+    /// vectors — is retained in the shard directory: counted by
+    /// [`retired_count`](MonitoringEngine::retired_count), included in
+    /// [`fleet_metrics`](MonitoringEngine::fleet_metrics) and
+    /// [`into_group_metrics`](MonitoringEngine::into_group_metrics).  When the id is reused
+    /// by [`register`](MonitoringEngine::register) / [`rejoin`](MonitoringEngine::rejoin) the
+    /// record loses its per-id slot but keeps feeding the fleet totals through the
+    /// reclaimed-epochs aggregate ([`reclaimed_metrics`](MonitoringEngine::reclaimed_metrics)).
+    ///
+    /// Returns `None` for an unknown or already-deregistered id (deregistration is
+    /// idempotent).
+    pub fn deregister(&mut self, id: GroupId) -> Option<MonitoringMetrics> {
+        let &DirectoryEntry::Active { shard, slot } = self.directory.get(id)? else {
+            return None;
+        };
+        let (_, session) = self.shards[shard].sessions.swap_remove(slot);
+        if let Some(&(moved_id, _)) = self.shards[shard].sessions.get(slot) {
+            self.directory[moved_id] = DirectoryEntry::Active { shard, slot };
+        }
+        let metrics = session.retire();
+        // The retained copy is compacted: a churning fleet would otherwise accumulate every
+        // dead epoch's per-update samples forever.  The caller gets the full record.
+        self.directory[id] = DirectoryEntry::Retired(Box::new(metrics.clone().into_compact()));
+        self.free_ids.push(id);
+        Some(metrics)
+    }
+
+    /// Re-registers a group under the id of a previously deregistered one.
+    ///
+    /// The new session starts fresh from its own `t = 0` (sessions are self-clocked).  The
+    /// id's retired metrics record moves into the reclaimed-epochs aggregate — still part of
+    /// [`fleet_metrics`](MonitoringEngine::fleet_metrics), no longer attributed to the id —
+    /// so callers who want the previous epoch's numbers per group take them from
+    /// [`deregister`](MonitoringEngine::deregister)'s return value.  Placement is
+    /// least-loaded-shard, like [`register`](MonitoringEngine::register).
+    ///
+    /// # Panics
+    /// Panics when `id` is not currently free (never registered, or still active) or when the
+    /// group is empty (both checked before any engine bookkeeping is touched).
+    pub fn rejoin(
+        &mut self,
+        id: GroupId,
+        group: &'g [Trajectory],
+        config: MonitorConfig,
+    ) -> GroupId {
+        assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+        let pos = self
+            .free_ids
+            .iter()
+            .position(|&free| free == id)
+            .expect("rejoin requires the id of a deregistered group");
+        self.free_ids.swap_remove(pos);
+        self.place(id, group, config);
+        id
+    }
+
+    /// Inserts a fresh session for `id` on the least-loaded shard.  If the id carries a
+    /// retired metrics record (it is being reused), the record is folded into the
+    /// reclaimed-epochs aggregate so fleet-wide totals never shrink.
+    fn place(&mut self, id: GroupId, group: &'g [Trajectory], config: MonitorConfig) {
+        let shard = self.least_loaded_shard();
+        let slot = self.shards[shard].sessions.len();
+        self.shards[shard].sessions.push((id, GroupSession::new(group, config)));
+        if let DirectoryEntry::Retired(previous) =
+            std::mem::replace(&mut self.directory[id], DirectoryEntry::Active { shard, slot })
+        {
+            self.reclaimed.group_size += previous.group_size;
+            self.reclaimed.absorb(&previous);
+        }
+    }
+
+    /// The shard with the fewest registered sessions (lowest index on ties).
+    fn least_loaded_shard(&self) -> usize {
+        self.shards
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, shard)| shard.sessions.len())
+            .map(|(i, _)| i)
+            .expect("an engine always has at least one shard")
+    }
+
+    /// Number of currently registered (active) groups.
     #[must_use]
     pub fn group_count(&self) -> usize {
-        self.directory.len()
+        self.directory.len() - self.free_ids.len()
+    }
+
+    /// Number of deregistered groups whose retired metrics are still held.
+    #[must_use]
+    pub fn retired_count(&self) -> usize {
+        self.free_ids.len()
     }
 
     /// Number of shards ticked in parallel.
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The executor advancing live shards on each tick.
+    #[must_use]
+    pub fn executor(&self) -> TickExecutor {
+        self.executor
     }
 
     /// Number of ticks executed so far.
@@ -161,22 +349,52 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
         self.sessions().all(GroupSession::is_finished)
     }
 
-    /// Advances every live session one timestamp, one worker thread per *live* shard.
+    /// Per-shard occupancy and idle-tick counters, in shard order.
+    #[must_use]
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardLoad {
+                shard,
+                occupancy: s.sessions.len(),
+                live: s.sessions.iter().filter(|(_, session)| !session.is_finished()).count(),
+                idle_ticks: s.idle_ticks,
+            })
+            .collect()
+    }
+
+    /// Advances every live session one timestamp, one pool worker (or scoped thread) per
+    /// *live* shard.
     ///
-    /// Shards whose sessions have all finished are skipped without a thread, and a single
-    /// live shard runs inline — so a winding-down fleet (or a small one spread over many
-    /// shards) does not pay per-tick thread churn.  Counters are deterministic: groups are
-    /// independent, so the summary and all per-group metrics are identical to a serial
-    /// replay regardless of the shard count.
+    /// Shards whose sessions have all finished (or that hold none) are skipped without waking
+    /// a worker — their [`idle_ticks`](ShardLoad::idle_ticks) counter is bumped instead — and
+    /// a single live shard runs inline, so a winding-down fleet does not pay executor
+    /// overhead.  Counters are deterministic: groups are independent, so the summary and all
+    /// per-group metrics are identical to a serial replay regardless of shard count and
+    /// executor.
     pub fn tick(&mut self) -> TickSummary {
         let tree = self.tree;
-        let (live, done): (Vec<&mut Shard>, Vec<&mut Shard>) = self
-            .shards
-            .iter_mut()
-            .partition(|shard| shard.sessions.iter().any(|(_, s)| !s.is_finished()));
-        let already_finished: usize = done.iter().map(|shard| shard.sessions.len()).sum();
+        let mut live: Vec<&mut Shard<'g>> = Vec::with_capacity(self.shards.len());
+        let mut already_finished = 0usize;
+        for shard in &mut self.shards {
+            if shard.sessions.iter().any(|(_, s)| !s.is_finished()) {
+                live.push(shard);
+            } else {
+                shard.idle_ticks += 1;
+                already_finished += shard.sessions.len();
+            }
+        }
         let tallies: Vec<TickSummary> = if live.len() <= 1 {
             live.into_iter().map(|shard| shard.advance_all(tree)).collect()
+        } else if let Some(pool) = &mut self.pool {
+            let mut slots: Vec<Option<TickSummary>> = vec![None; live.len()];
+            pool.scoped(|scope| {
+                for (shard, slot) in live.into_iter().zip(slots.iter_mut()) {
+                    scope.execute(move || *slot = Some(shard.advance_all(tree)));
+                }
+            });
+            slots.into_iter().map(|t| t.expect("the scope barrier ran every job")).collect()
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = live
@@ -198,6 +416,7 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
             acc
         });
         summary.finished += already_finished;
+        summary.retired = self.retired_count();
         summary.tick = self.clock;
         self.clock += 1;
         summary
@@ -216,51 +435,110 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
     /// The session of one group.
     ///
     /// # Panics
-    /// Panics on an unknown id.
+    /// Panics on an unknown or deregistered id.
     #[must_use]
     pub fn group(&self, id: GroupId) -> &GroupSession<'g> {
-        let (shard, slot) = self.directory[id];
-        &self.shards[shard].sessions[slot].1
+        match &self.directory[id] {
+            DirectoryEntry::Active { shard, slot } => &self.shards[*shard].sessions[*slot].1,
+            DirectoryEntry::Retired(_) => panic!("group {id} has been deregistered"),
+        }
     }
 
-    /// The metrics of one group accumulated so far.
+    /// The metrics of one group accumulated so far — a live group's running counters, or the
+    /// retained record of a deregistered one.
     ///
     /// # Panics
     /// Panics on an unknown id.
     #[must_use]
     pub fn group_metrics(&self, id: GroupId) -> &MonitoringMetrics {
-        self.group(id).metrics()
+        match &self.directory[id] {
+            DirectoryEntry::Active { shard, slot } => {
+                self.shards[*shard].sessions[*slot].1.metrics()
+            }
+            DirectoryEntry::Retired(metrics) => metrics,
+        }
     }
 
-    /// Fleet-wide metrics: every group's counters merged into one record.
+    /// Aggregate metrics of past epochs whose ids have been reused by
+    /// [`register`](MonitoringEngine::register) / [`rejoin`](MonitoringEngine::rejoin): no
+    /// longer attributable to a live id, but still part of the fleet's lifetime totals.
+    #[must_use]
+    pub fn reclaimed_metrics(&self) -> &MonitoringMetrics {
+        &self.reclaimed
+    }
+
+    /// Fleet-wide metrics: every group's counters merged into one record, **including** the
+    /// retained metrics of deregistered groups and the reclaimed epochs of reused ids (a
+    /// long-lived server's totals must not shrink when a group leaves or its id is recycled).
     ///
-    /// `group_size` is the total number of monitored users.
+    /// `group_size` is the total number of monitored users over the fleet's lifetime (each
+    /// epoch of a churning group counts its users once).  Retained records are compacted, so
+    /// compute-time *percentiles* of the merged record reflect only live sessions; all
+    /// totals and means cover everything.
     #[must_use]
     pub fn fleet_metrics(&self) -> MonitoringMetrics {
-        let users = self.sessions().map(GroupSession::group_size).sum();
+        let retired = self.directory.iter().filter_map(|entry| match entry {
+            DirectoryEntry::Retired(metrics) => Some(&**metrics),
+            DirectoryEntry::Active { .. } => None,
+        });
+        let users = self.sessions().map(GroupSession::group_size).sum::<usize>()
+            + retired.clone().map(|m| m.group_size).sum::<usize>()
+            + self.reclaimed.group_size;
         let mut fleet = MonitoringMetrics::new(users);
         for session in self.sessions() {
             fleet.absorb(session.metrics());
         }
+        for metrics in retired {
+            fleet.absorb(metrics);
+        }
+        fleet.absorb(&self.reclaimed);
         fleet
     }
 
-    /// Consumes the engine, returning every group's metrics in registration order.
+    /// Consumes the engine, returning every group's metrics by id (registration order):
+    /// live sessions' accumulated counters plus the retained records of deregistered groups.
+    /// Earlier epochs of reused ids are not per-id attributable — read them off
+    /// [`reclaimed_metrics`](MonitoringEngine::reclaimed_metrics) before consuming the
+    /// engine.
     #[must_use]
-    pub fn into_group_metrics(self) -> Vec<MonitoringMetrics> {
-        let mut with_ids: Vec<(GroupId, MonitoringMetrics)> = self
-            .shards
+    pub fn into_group_metrics(mut self) -> Vec<MonitoringMetrics> {
+        // `mem::take` instead of destructuring: the engine implements `Drop` (worker-pool
+        // shutdown), so fields cannot be moved out of `self` directly.
+        let shards = std::mem::take(&mut self.shards);
+        let directory = std::mem::take(&mut self.directory);
+        let mut by_id: Vec<Option<MonitoringMetrics>> = directory
             .into_iter()
-            .flat_map(|shard| {
-                shard.sessions.into_iter().map(|(id, session)| (id, session.into_metrics()))
+            .map(|entry| match entry {
+                DirectoryEntry::Retired(metrics) => Some(*metrics),
+                DirectoryEntry::Active { .. } => None,
             })
             .collect();
-        with_ids.sort_by_key(|(id, _)| *id);
-        with_ids.into_iter().map(|(_, metrics)| metrics).collect()
+        for shard in shards {
+            for (id, session) in shard.sessions {
+                by_id[id] = Some(session.into_metrics());
+            }
+        }
+        by_id
+            .into_iter()
+            .map(|m| m.expect("every directory entry is either active or retired"))
+            .collect()
     }
 
     fn sessions(&self) -> impl Iterator<Item = &GroupSession<'g>> {
         self.shards.iter().flat_map(|shard| shard.sessions.iter().map(|(_, s)| s))
+    }
+}
+
+impl Drop for MonitoringEngine<'_, '_> {
+    /// Shuts the worker pool down; in debug builds, asserts every worker joined cleanly (a
+    /// hung or panicked worker here means a pool shutdown bug — surface it in tests rather
+    /// than leaking threads).
+    fn drop(&mut self) {
+        if let Some(pool) = &mut self.pool {
+            let clean = pool.shutdown();
+            debug_assert!(clean, "monitoring engine dropped with unclean pool workers");
+            debug_assert!(pool.is_shut_down(), "pool shutdown must join every worker");
+        }
     }
 }
 
@@ -333,6 +611,7 @@ mod tests {
         let summary = engine.tick();
         assert_eq!(summary.advanced, 0, "finished sessions do not advance");
         assert_eq!(summary.finished, 5);
+        assert_eq!(summary.retired, 0);
     }
 
     #[test]
@@ -383,5 +662,155 @@ mod tests {
         assert_eq!(summary.registered, 1, "the late group registers on its first tick");
         engine.run_to_completion();
         assert_eq!(engine.group_metrics(late).timestamps, 24, "late groups replay fully");
+    }
+
+    #[test]
+    fn deregistered_groups_keep_their_metrics_and_free_their_ids() {
+        let (tree, fleet) = world(4);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(30);
+        let mut engine = MonitoringEngine::new(&tree, 2);
+        let ids: Vec<_> = fleet.iter().map(|g| engine.register(g, config)).collect();
+        for _ in 0..10 {
+            engine.tick();
+        }
+
+        let departed = engine.deregister(ids[1]).expect("group 1 is registered");
+        assert_eq!(departed.timestamps, 9, "10 ticks = registration + 9 monitored timestamps");
+        assert_eq!(engine.group_count(), 3);
+        assert_eq!(engine.retired_count(), 1);
+        assert!(engine.deregister(ids[1]).is_none(), "deregistration is idempotent");
+        // The retained record stays readable and feeds fleet accounting; it is compacted
+        // (scalar totals only) while the returned record keeps the raw samples.
+        assert_eq!(engine.group_metrics(ids[1]).timestamps, 9);
+        assert_eq!(engine.group_metrics(ids[1]).updates, departed.updates);
+        assert!(engine.group_metrics(ids[1]).update_times.is_empty());
+        assert_eq!(departed.update_times.len(), departed.updates);
+        assert!(engine.fleet_metrics().group_size >= departed.group_size);
+        let fleet_before_reuse = engine.fleet_metrics();
+
+        // The freed id is reused by the next registration; the old epoch moves into the
+        // reclaimed aggregate so fleet totals never shrink.
+        let reused = engine.register(&fleet[1], config);
+        assert_eq!(reused, ids[1]);
+        assert_eq!(engine.group_count(), 4);
+        assert_eq!(engine.retired_count(), 0);
+        assert_eq!(engine.reclaimed_metrics().updates, departed.updates);
+        assert_eq!(engine.reclaimed_metrics().group_size, departed.group_size);
+        let fleet_after_reuse = engine.fleet_metrics();
+        assert_eq!(fleet_after_reuse.updates, fleet_before_reuse.updates);
+        assert_eq!(fleet_after_reuse.group_size, fleet_before_reuse.group_size + 3);
+
+        engine.run_to_completion();
+        let all = engine.into_group_metrics();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[ids[1]].timestamps, 29, "the rejoined epoch replays its full horizon");
+    }
+
+    #[test]
+    fn rejecting_an_empty_group_leaves_the_bookkeeping_intact() {
+        let (tree, fleet) = world(1);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
+        let mut engine = MonitoringEngine::new(&tree, 2);
+        engine.register(&fleet[0], config);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.register(&[], config);
+        }));
+        assert!(panicked.is_err(), "empty groups are rejected");
+        assert_eq!(engine.group_count(), 1, "the failed registration left no trace");
+        assert_eq!(engine.retired_count(), 0);
+        engine.run_to_completion();
+        assert_eq!(engine.into_group_metrics().len(), 1);
+    }
+
+    #[test]
+    fn rejoin_requires_a_freed_id_and_restarts_the_group() {
+        let (tree, fleet) = world(2);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(20);
+        let mut engine = MonitoringEngine::new(&tree, 2);
+        let id = engine.register(&fleet[0], config);
+        for _ in 0..5 {
+            engine.tick();
+        }
+        engine.deregister(id).unwrap();
+        let back = engine.rejoin(id, &fleet[0], config);
+        assert_eq!(back, id);
+        let summary = engine.tick();
+        assert_eq!(summary.registered, 1, "a rejoined group re-registers on its next tick");
+        engine.run_to_completion();
+        assert_eq!(engine.group_metrics(id).timestamps, 19, "the new epoch starts from t = 0");
+    }
+
+    #[test]
+    fn registration_fills_the_least_loaded_shard() {
+        let (tree, fleet) = world(6);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
+        let mut engine = MonitoringEngine::new(&tree, 3);
+        let ids: Vec<_> = fleet.iter().map(|g| engine.register(g, config)).collect();
+        let loads = engine.shard_loads();
+        assert!(loads.iter().all(|l| l.occupancy == 2), "6 groups spread 2-2-2 over 3 shards");
+
+        // Empty one shard, then register twice: both go to the emptied shard.
+        engine.deregister(ids[0]).unwrap();
+        engine.deregister(ids[3]).unwrap();
+        let loads = engine.shard_loads();
+        assert_eq!(loads[0].occupancy, 0, "ids 0 and 3 both lived on shard 0");
+        let a = engine.register(&fleet[0], config);
+        let b = engine.register(&fleet[3], config);
+        let loads = engine.shard_loads();
+        assert_eq!(loads[0].occupancy, 2, "both replacements fill the emptied shard");
+        assert!(a != b);
+    }
+
+    #[test]
+    fn idle_shards_are_skipped_and_counted() {
+        let (tree, fleet) = world(2);
+        let short = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(5);
+        let long = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(15);
+        let mut engine = MonitoringEngine::new(&tree, 2);
+        engine.register(&fleet[0], short);
+        engine.register(&fleet[1], long);
+        engine.run_to_completion();
+        let loads = engine.shard_loads();
+        assert_eq!(loads[0].idle_ticks, 10, "the short group's shard idles for 10 ticks");
+        assert_eq!(loads[1].idle_ticks, 0);
+        assert_eq!(loads[0].live, 0);
+    }
+
+    #[test]
+    fn scoped_thread_executor_is_still_available() {
+        let (tree, fleet) = world(4);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(25);
+        let mut engine = MonitoringEngine::with_executor(&tree, 4, TickExecutor::ScopedThreads);
+        assert_eq!(engine.executor(), TickExecutor::ScopedThreads);
+        for group in &fleet {
+            engine.register(group, config);
+        }
+        engine.run_to_completion();
+        for (id, group) in fleet.iter().enumerate() {
+            let serial = run_monitoring(&tree, group, &config);
+            assert_eq!(engine.group_metrics(id).updates, serial.updates);
+        }
+    }
+
+    #[test]
+    fn engine_shutdown_joins_the_pool_workers() {
+        let (tree, fleet) = world(4);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
+        let mut engine = MonitoringEngine::new(&tree, 4);
+        for group in &fleet {
+            engine.register(group, config);
+        }
+        engine.tick();
+        engine.tick();
+        // Dropping mid-run must join the parked workers promptly (a hang here shows up as a
+        // timeout under `cargo test -- --test-threads=1`); the debug assertions in `Drop`
+        // check the workers exited cleanly.
+        drop(engine);
+
+        // An engine that never ticked in parallel (single shard: no pool) also drops cleanly.
+        let mut serial = MonitoringEngine::new(&tree, 1);
+        serial.register(&fleet[0], config);
+        serial.run_to_completion();
+        drop(serial);
     }
 }

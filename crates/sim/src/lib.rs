@@ -16,9 +16,12 @@
 //!   violation detection against the last answer, the report/probe/notify message exchange,
 //!   and the per-group engine state ([`mpn_core::SessionState`]: heading predictors, §5.4 GNN
 //!   buffer, last answer) that persists across updates;
-//! * [`MonitoringEngine`] ([`engine`]) — a fleet of sessions sharded over worker threads and
-//!   advanced one timestamp per [`tick`](MonitoringEngine::tick), with per-group and
-//!   fleet-wide [`MonitoringMetrics`] / [`Traffic`] aggregation.
+//! * [`MonitoringEngine`] ([`engine`]) — a churning fleet of sessions sharded over a
+//!   persistent worker pool and advanced one timestamp per [`tick`](MonitoringEngine::tick),
+//!   with dynamic membership ([`register`](MonitoringEngine::register) /
+//!   [`deregister`](MonitoringEngine::deregister) / [`rejoin`](MonitoringEngine::rejoin)
+//!   over a free-list of group ids, least-loaded shard placement) and per-group, per-shard
+//!   ([`ShardLoad`]) and fleet-wide [`MonitoringMetrics`] / [`Traffic`] aggregation.
 //!
 //! [`run_monitoring`] remains as the single-group compatibility wrapper (bit-identical
 //! counters to the historical stateless loop) and [`experiment::run_workload`] drives a whole
@@ -33,8 +36,8 @@ pub mod message;
 pub mod metrics;
 pub mod monitor;
 
-pub use engine::{GroupId, MonitoringEngine, TickSummary};
+pub use engine::{GroupId, MonitoringEngine, TickExecutor, TickSummary};
 pub use experiment::{run_workload, run_workload_sharded, WorkloadSummary};
 pub use message::{Message, MessageKind, Traffic};
-pub use metrics::MonitoringMetrics;
+pub use metrics::{MonitoringMetrics, ShardLoad};
 pub use monitor::{run_monitoring, GroupSession, MonitorConfig, StepOutcome};

@@ -1,10 +1,37 @@
-//! Metrics collected by a monitoring run: the three measures of Section 7.1.
+//! Metrics collected by a monitoring run: the three measures of Section 7.1, plus the
+//! per-shard load counters of the fleet engine.
 
 use std::time::Duration;
 
 use mpn_core::ComputeStats;
 
 use crate::message::Traffic;
+
+/// Load snapshot of one engine shard (see
+/// [`MonitoringEngine::shard_loads`](crate::MonitoringEngine::shard_loads)).
+///
+/// `occupancy` drives the engine's least-loaded placement of new groups; `idle_ticks` counts
+/// the ticks for which the shard's worker was *not* woken (every session finished, or none
+/// registered), i.e. how much executor work the live-shard filter saved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Index of the shard.
+    pub shard: usize,
+    /// Sessions currently registered on the shard (live or finished).
+    pub occupancy: usize,
+    /// Sessions that have not yet replayed their whole horizon.
+    pub live: usize,
+    /// Ticks during which the shard had no live session and was skipped by the executor.
+    pub idle_ticks: usize,
+}
+
+impl ShardLoad {
+    /// Whether the shard would be woken by the next tick.
+    #[must_use]
+    pub fn is_live(&self) -> bool {
+        self.live > 0
+    }
+}
 
 /// Aggregated metrics of one monitoring run (one user group over one trajectory horizon).
 #[derive(Debug, Clone)]
@@ -93,6 +120,20 @@ impl MonitoringMetrics {
         sorted[idx]
     }
 
+    /// Drops the raw per-update CPU samples, keeping every scalar total (updates, compute
+    /// time, work counters, traffic).
+    ///
+    /// Used for records retained indefinitely — a monitoring engine keeps the metrics of
+    /// every deregistered group for fleet accounting, and `update_times` would otherwise
+    /// grow without bound as the fleet churns.  Percentiles
+    /// ([`compute_time_percentile`](MonitoringMetrics::compute_time_percentile)) of a
+    /// compacted record are [`Duration::ZERO`]; means and totals are unaffected.
+    #[must_use]
+    pub fn into_compact(mut self) -> Self {
+        self.update_times = Vec::new();
+        self
+    }
+
     /// Merges another run's metrics into this one (used to average over user groups).
     pub fn absorb(&mut self, other: &MonitoringMetrics) {
         self.timestamps += other.timestamps;
@@ -128,6 +169,20 @@ mod tests {
         assert_eq!(m.mean_compute_time(), Duration::from_millis(5));
         assert_eq!(m.compute_time_percentile(0.0), Duration::from_millis(4));
         assert_eq!(m.compute_time_percentile(100.0), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn into_compact_keeps_totals_and_drops_samples() {
+        let mut m = MonitoringMetrics::new(2);
+        m.timestamps = 10;
+        m.record_update(Duration::from_millis(4), &ComputeStats::default());
+        m.record_update(Duration::from_millis(6), &ComputeStats::default());
+        let compact = m.into_compact();
+        assert_eq!(compact.updates, 2);
+        assert_eq!(compact.compute_time, Duration::from_millis(10));
+        assert_eq!(compact.mean_compute_time(), Duration::from_millis(5));
+        assert!(compact.update_times.is_empty());
+        assert_eq!(compact.compute_time_percentile(95.0), Duration::ZERO);
     }
 
     #[test]

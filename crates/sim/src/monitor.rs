@@ -179,6 +179,20 @@ impl<'g> GroupSession<'g> {
         self.metrics
     }
 
+    /// Tears the session down on deregistration: explicitly reclaims the engine state
+    /// retained between updates (the §5.4 GNN buffer and the last answer, via
+    /// [`SessionState::reclaim`]) before extracting the metrics.
+    ///
+    /// Functionally this drops the same memory `into_metrics` would, but the explicit
+    /// reclaim keeps the teardown order observable — a long-lived server deregistering a
+    /// group must not keep dead caches alive through some stray reference.
+    #[must_use]
+    pub fn retire(mut self) -> MonitoringMetrics {
+        self.session.reclaim();
+        debug_assert!(!self.session.has_cached_buffer(), "reclaim must drop the cached GNN buffer");
+        self.metrics
+    }
+
     /// Replays the next timestamp of the protocol.
     ///
     /// # Panics

@@ -3,8 +3,10 @@
 //! The paper's evaluation replays one group at a time, but the production scenario is a
 //! server monitoring a whole fleet of groups against one POI index.  This example registers
 //! 24 groups (mixed objectives and safe-region methods, like a real mixed tenant base) with a
-//! sharded `MonitoringEngine`, advances them all with parallel ticks, and prints live fleet
-//! summaries plus the final per-group and fleet-wide metrics.
+//! sharded `MonitoringEngine` whose persistent worker pool advances them in parallel ticks,
+//! churns the membership mid-run — a handful of groups leave at tick 150 and rejoin under
+//! their old ids at tick 450 — and prints live fleet summaries, the final per-group and
+//! fleet-wide metrics, and the per-shard load counters.
 //!
 //! Run with: `cargo run --release --example fleet_monitoring`
 
@@ -14,6 +16,9 @@ use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
 use mpn::sim::{MonitorConfig, MonitoringEngine};
+
+/// Groups that leave the fleet mid-run and rejoin later.
+const CHURNERS: std::ops::Range<usize> = 0..4;
 
 fn main() {
     // The shared POI index all groups are served from.
@@ -43,14 +48,17 @@ fn main() {
         })
         .collect();
 
+    let config_for = |g: usize| {
+        let objective = if g.is_multiple_of(2) { Objective::Max } else { Objective::Sum };
+        let method = method_mix[g % 4];
+        MonitorConfig::new(objective, method)
+            // The buffered methods keep their §5.4 GNN buffer alive across updates.
+            .with_persistent_buffers(matches!(method, Method::Tile(c) if c.buffering.is_some()))
+    };
+
     let mut engine = MonitoringEngine::new(&tree, 8);
     for (g, group) in fleet.iter().enumerate() {
-        let objective = if g % 2 == 0 { Objective::Max } else { Objective::Sum };
-        let method = method_mix[g % 4];
-        let config = MonitorConfig::new(objective, method)
-            // The buffered methods keep their §5.4 GNN buffer alive across updates.
-            .with_persistent_buffers(matches!(method, Method::Tile(c) if c.buffering.is_some()));
-        engine.register(group, config);
+        engine.register(group, config_for(g));
     }
 
     println!(
@@ -59,13 +67,34 @@ fn main() {
         engine.shard_count()
     );
 
-    // Drive the fleet tick by tick, reporting every 100 ticks.
+    // Drive the fleet tick by tick, reporting every 100 ticks.  Membership is dynamic: at
+    // tick 150 the churners leave (their session state is reclaimed, their metrics retained),
+    // at tick 450 they rejoin under their old ids with fresh sessions.
     while !engine.is_finished() {
         let summary = engine.tick();
         if summary.tick.is_multiple_of(100) {
             println!(
-                "tick {:>4}: {:>2} live groups, {:>2} updates, {:>2} violating users",
-                summary.tick, summary.advanced, summary.updated, summary.violators
+                "tick {:>4}: {:>2} live groups, {:>2} updates, {:>2} violating users, {} retired",
+                summary.tick, summary.advanced, summary.updated, summary.violators, summary.retired
+            );
+        }
+        if summary.tick == 150 {
+            for id in CHURNERS {
+                let departed = engine.deregister(id).expect("churner is registered");
+                println!(
+                    "tick  150: group {id} left after {} updates / {} packets",
+                    departed.updates,
+                    departed.packets()
+                );
+            }
+        }
+        if summary.tick == 450 {
+            for id in CHURNERS {
+                engine.rejoin(id, &fleet[id], config_for(id));
+            }
+            println!(
+                "tick  450: groups {CHURNERS:?} rejoined under their old ids ({} registered)",
+                engine.group_count()
             );
         }
     }
@@ -102,4 +131,12 @@ fn main() {
         fleet.mean_compute_time().as_secs_f64() * 1e6,
         fleet.compute_time_percentile(95.0).as_secs_f64() * 1e6
     );
+
+    println!("\nshard   occupancy   live   idle_ticks");
+    for load in engine.shard_loads() {
+        println!(
+            "{:<7} {:>9} {:>6} {:>12}",
+            load.shard, load.occupancy, load.live, load.idle_ticks
+        );
+    }
 }

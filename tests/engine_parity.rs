@@ -6,6 +6,8 @@
 //!
 //! * the compatibility wrapper reproduces its updates, packets and work counters exactly,
 //! * a parallel multi-group tick equals the serial single-group replays,
+//! * the persistent worker-pool executor produces the same fleet `TickSummary` sequence as
+//!   the legacy scoped-thread executor (pinning the executor swap),
 //! * persistent §5.4 buffers strictly reduce R-tree queries per update for `Tile-D-b`.
 
 use mpn::core::{Method, MpnServer, Objective};
@@ -14,7 +16,9 @@ use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{run_monitoring, Message, MonitorConfig, MonitoringEngine, Traffic};
+use mpn::sim::{
+    run_monitoring, Message, MonitorConfig, MonitoringEngine, TickExecutor, TickSummary, Traffic,
+};
 
 fn world(groups: usize, seed: u64) -> (RTree, Vec<Vec<Trajectory>>) {
     let pois =
@@ -180,6 +184,43 @@ fn parallel_eight_group_tick_matches_eight_serial_runs() {
         fleet_metrics.traffic.packets,
         serial.iter().map(|c| c.traffic.packets).sum::<usize>()
     );
+}
+
+#[test]
+fn pool_executor_matches_the_scoped_thread_executor_tick_for_tick() {
+    let (tree, fleet) = world(8, 57);
+    let config = MonitorConfig::new(Objective::Max, Method::tile()).with_max_timestamps(100);
+
+    let mut pool = MonitoringEngine::with_executor(&tree, 4, TickExecutor::WorkerPool);
+    let mut scoped = MonitoringEngine::with_executor(&tree, 4, TickExecutor::ScopedThreads);
+    assert_eq!(pool.executor(), TickExecutor::WorkerPool);
+    assert_eq!(scoped.executor(), TickExecutor::ScopedThreads);
+    for group in &fleet {
+        pool.register(group, config);
+        scoped.register(group, config);
+    }
+
+    let mut pool_summaries: Vec<TickSummary> = Vec::new();
+    while !pool.is_finished() {
+        pool_summaries.push(pool.tick());
+    }
+    let mut scoped_summaries: Vec<TickSummary> = Vec::new();
+    while !scoped.is_finished() {
+        scoped_summaries.push(scoped.tick());
+    }
+
+    assert_eq!(pool_summaries.len(), 100);
+    assert_eq!(
+        pool_summaries, scoped_summaries,
+        "the executor swap must not change any fleet tick summary"
+    );
+    for id in 0..fleet.len() {
+        assert_eq!(
+            counters_of(pool.group_metrics(id)),
+            counters_of(scoped.group_metrics(id)),
+            "group {id} diverged between executors"
+        );
+    }
 }
 
 #[test]

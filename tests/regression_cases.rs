@@ -1,8 +1,67 @@
-//! Regression tests for concrete inputs that once exposed bugs (found by the property tests).
+//! Regression tests for concrete inputs that once exposed bugs (found by the property tests),
+//! and for behaviors whose documentation once disagreed with the code.
 
 use mpn::core::{Method, MpnServer, Objective, SafeRegion};
 use mpn::geom::Point;
 use mpn::index::RTree;
+use mpn::mobility::waypoint::{random_waypoint, WaypointConfig};
+use mpn::mobility::Trajectory;
+use mpn::sim::{MonitorConfig, MonitoringEngine};
+
+/// `TickSummary::finished` was documented as a fleet-wide total but its relationship to
+/// deregistration was implicit: a deregistered group silently vanished from the total, which
+/// looked like a lost session.  The contract is now explicit — `finished` totals the
+/// **currently registered** sessions past their horizon, deregistered groups move to
+/// `retired` — and fleet metrics keep including the retired groups' counters.
+#[test]
+fn finished_total_excludes_deregistered_groups_which_move_to_retired() {
+    let pois: Vec<Point> =
+        (0..80).map(|i| Point::new(f64::from(i % 10) * 60.0, f64::from(i / 10) * 70.0)).collect();
+    let tree = RTree::bulk_load(&pois);
+    let traj = WaypointConfig { domain: 600.0, speed_limit: 6.0, timestamps: 40 };
+    let fleet: Vec<Vec<Trajectory>> = (0..3)
+        .map(|g| (0..2).map(|i| random_waypoint(&traj, (g * 7 + i) as u64)).collect())
+        .collect();
+
+    let horizons = [10usize, 10, 30];
+    let mut engine = MonitoringEngine::new(&tree, 2);
+    let ids: Vec<_> = fleet
+        .iter()
+        .zip(horizons)
+        .map(|(group, horizon)| {
+            let config =
+                MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(horizon);
+            engine.register(group, config)
+        })
+        .collect();
+
+    let mut summary = engine.tick();
+    for _ in 1..12 {
+        summary = engine.tick();
+    }
+    assert_eq!(summary.finished, 2, "after 12 ticks the two 10-timestamp groups are done");
+    assert_eq!(summary.retired, 0);
+
+    // Deregistering a finished group moves it from `finished` to `retired`.
+    let departed = engine.deregister(ids[0]).expect("group 0 is registered");
+    assert_eq!(departed.timestamps, 9, "10-timestamp horizon = registration + 9 timestamps");
+    let summary = engine.tick();
+    assert_eq!(summary.finished, 1, "only registered sessions count as finished");
+    assert_eq!(summary.retired, 1, "the deregistered group is accounted explicitly");
+
+    // Fleet accounting must not shrink when a group leaves.
+    engine.run_to_completion();
+    let fleet_metrics = engine.fleet_metrics();
+    assert_eq!(fleet_metrics.group_size, 6, "all three 2-user groups stay in the fleet totals");
+    let per_group_updates: usize = (0..3).map(|id| engine.group_metrics(id).updates).sum();
+    assert_eq!(fleet_metrics.updates, per_group_updates);
+
+    // And the consuming accessor still reports every group in id order.
+    let all = engine.into_group_metrics();
+    assert_eq!(all.len(), 3);
+    assert_eq!(all[0].timestamps, 9, "the retired record survives into_group_metrics");
+    assert_eq!(all[2].timestamps, 29);
+}
 
 /// Three almost-collinear POIs with two users on opposite sides: found by proptest as a case
 /// where an over-eager tile acceptance changed the optimum.
