@@ -14,9 +14,11 @@
 //! * GT-Verify vs IT-Verify (the grouping optimisation of Section 5.3),
 //! * index pruning on/off (Theorem 3),
 //! * R-tree GNN query cost,
-//! * tile-region compression encode/decode throughput.
+//! * tile-region compression encode/decode throughput,
+//! * `mpn-proto` wire codec round-trip throughput (report and safe-region frames).
 
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mpn_core::{
@@ -27,7 +29,8 @@ use mpn_geom::Point;
 use mpn_index::{Aggregate, GnnSearch, RTree};
 use mpn_mobility::poi::{clustered_pois, PoiConfig};
 use mpn_mobility::Trajectory;
-use mpn_sim::{MonitorConfig, MonitoringEngine, TickExecutor};
+use mpn_proto::{Request, Response};
+use mpn_sim::{MonitorConfig, MonitoringEngine, TickExecutor, TrajectoryFeed};
 
 fn poi_tree(n: usize) -> RTree {
     let pois = clustered_pois(&PoiConfig { count: n, domain: 10_000.0, ..PoiConfig::default() }, 7);
@@ -136,17 +139,18 @@ fn main() {
     // parks its workers between ticks; the scoped baseline spawns and joins a thread per
     // live shard every tick.
     {
-        let tree = poi_tree(2_000);
-        let stationary: Vec<Trajectory> =
-            users(3).iter().map(|p| Trajectory::new(vec![*p; 400_000])).collect();
+        let tree = Arc::new(poi_tree(2_000));
+        let stationary: Arc<Vec<Trajectory>> =
+            Arc::new(users(3).iter().map(|p| Trajectory::new(vec![*p; 400_000])).collect());
         let config = MonitorConfig::new(Objective::Max, Method::circle());
-        let mut pool_engine = MonitoringEngine::with_executor(&tree, 8, TickExecutor::WorkerPool);
+        let mut pool_engine =
+            MonitoringEngine::with_executor(Arc::clone(&tree), 8, TickExecutor::WorkerPool);
         let mut scoped_engine =
-            MonitoringEngine::with_executor(&tree, 8, TickExecutor::ScopedThreads);
+            MonitoringEngine::with_executor(Arc::clone(&tree), 8, TickExecutor::ScopedThreads);
         for engine in [&mut pool_engine, &mut scoped_engine] {
-            // 32 groups sharing one trajectory slice (the engine borrows, never copies).
+            // 32 groups sharing one recording (feeds share the Arc, never copy the data).
             for _ in 0..32 {
-                engine.register(&stationary, config);
+                engine.register(TrajectoryFeed::new(Arc::clone(&stationary)), config);
             }
             engine.tick(); // registration tick: every group's initial computation, once
         }
@@ -220,6 +224,31 @@ fn main() {
         });
         b("compression/decode", &mut || {
             black_box(encoded.decode());
+        });
+    }
+
+    // mpn-proto wire codec round-trips: the per-message serialisation cost a network
+    // front-end pays on top of the monitoring compute.
+    {
+        let tree = poi_tree(8_000);
+        let group = users(3);
+        let out = tile_msr(&tree, &group, Objective::Max, &TileMsrConfig::default(), None);
+        let region =
+            out.regions.iter().max_by_key(|r| r.len()).expect("at least one region").clone();
+        let report = Request::Report { group: 42, positions: users(5) };
+        let safe_region = Response::SafeRegion {
+            group: 42,
+            user: 2,
+            meeting_point: Point::new(4_000.0, 5_000.0),
+            region: mpn_core::SafeRegion::Tiles(region),
+        };
+        b("proto/codec_roundtrip_report", &mut || {
+            let bytes = black_box(&report).encoded();
+            black_box(Request::decode(&bytes).unwrap());
+        });
+        b("proto/codec_roundtrip_safe_region", &mut || {
+            let bytes = black_box(&safe_region).encoded();
+            black_box(Response::decode(&bytes).unwrap());
         });
     }
 }

@@ -139,6 +139,31 @@ pub fn packets_for_values(values: usize) -> usize {
     values.div_ceil(VALUES_PER_PACKET).max(usize::from(values > 0))
 }
 
+/// Number of §7.1 payload values needed to ship a safe region to a client: 3 per circle,
+/// 3 per plain tile, or the [`CompressedTileRegion`] count when `compress` is set (the
+/// paper's default).
+///
+/// This is the single definition of the region payload in the §7.1 cost model — the
+/// simulation's message accounting and the `mpn-proto` wire accounting are both pinned to it
+/// (`tests/proto_parity.rs`).  Cells outside the compressed encoding's range cannot occur
+/// with the default parameters; if they do, the plain encoding is charged rather than
+/// undercounting.
+#[must_use]
+pub fn region_value_count(region: &crate::region::SafeRegion, compress: bool) -> usize {
+    match region {
+        crate::region::SafeRegion::Circle(_) => 3,
+        crate::region::SafeRegion::Tiles(tiles) => {
+            if compress {
+                CompressedTileRegion::encode(tiles)
+                    .map(|c| c.value_count())
+                    .unwrap_or_else(|_| 3 * tiles.len())
+            } else {
+                3 * tiles.len()
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -67,7 +67,9 @@ pub mod verify;
 
 pub use buffer::BufferSet;
 pub use circle::{circle_msr, CircleMsr, DEFAULT_RADIUS_CAP};
-pub use compress::{packets_for_values, CompressedTileRegion, VALUES_PER_PACKET};
+pub use compress::{
+    packets_for_values, region_value_count, CompressedTileRegion, VALUES_PER_PACKET,
+};
 pub use engine::{CircleEngine, EngineContext, SafeRegionEngine, TileEngine};
 pub use ordering::TileOrdering;
 pub use region::{SafeRegion, TileCell, TileFrame, TileRegion};

@@ -1,0 +1,628 @@
+//! The compact length-prefixed binary codec of the protocol.
+//!
+//! Every message travels as one **frame**: a little-endian `u32` payload length, a one-byte
+//! message tag, then the tag's payload.  Primitives are little-endian; `f64`s ship as their
+//! IEEE-754 bit patterns (the round-trip is exact, which the property tests pin); tile
+//! regions ship as their shared frame plus 9 bytes per cell (level `u8`, grid coordinates
+//! `i32`×2) and are rebuilt exactly on decode.
+//!
+//! Uplink and downlink tags live in disjoint ranges (`0x01..` vs `0x81..`), so a captured
+//! frame identifies its direction and [`Request::decode`] cannot silently parse a response
+//! (and vice versa).
+//!
+//! Decoding is incremental-friendly: [`DecodeError::Incomplete`] means "feed me more bytes",
+//! which is exactly what a socket read loop needs — or use [`read_frame`] to pull one whole
+//! frame off any [`std::io::Read`].  All other errors are malformed input; decoders never
+//! panic and never allocate more than the declared (and [`MAX_FRAME_LEN`]-bounded) frame.
+
+use std::io::Read;
+
+use mpn_core::{SafeRegion, TileCell, TileFrame, TileRegion};
+use mpn_geom::{Circle, Point};
+
+use crate::{NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective};
+
+/// Upper bound on a frame's declared payload length: decoders reject anything larger before
+/// allocating.  16 MiB comfortably holds any realistic epoch batch or tile region while
+/// keeping a malicious length prefix harmless.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+/// Why a frame failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ends before the frame does — not an error over a stream, just "read more".
+    Incomplete,
+    /// The frame's message tag is unknown (or belongs to the opposite direction).
+    UnknownTag(u8),
+    /// The declared payload length exceeds [`MAX_FRAME_LEN`].
+    Oversize(usize),
+    /// The payload does not parse as the tag's message.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Incomplete => write!(f, "frame is incomplete; more bytes are needed"),
+            DecodeError::UnknownTag(tag) => write!(f, "unknown message tag {tag:#04x}"),
+            DecodeError::Oversize(len) => {
+                write!(f, "declared frame length {len} exceeds the {MAX_FRAME_LEN} byte cap")
+            }
+            DecodeError::Malformed(what) => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Message tags.  Uplink is 0x01.., downlink 0x81.. — disjoint on purpose.
+const TAG_REGISTER: u8 = 0x01;
+const TAG_REPORT: u8 = 0x02;
+const TAG_DEREGISTER: u8 = 0x03;
+const TAG_SAFE_REGION: u8 = 0x81;
+const TAG_PROBE_REQUEST: u8 = 0x82;
+const TAG_NOTIFICATION: u8 = 0x83;
+
+// Sub-tags.
+const REGION_CIRCLE: u8 = 0;
+const REGION_TILES: u8 = 1;
+
+/// Highest subdivision level a decoded tile cell may carry.  `TileFrame::side_at` computes
+/// `δ / 2^level`, so any level ≥ 32 would overflow the shift; real regions never exceed a
+/// handful of levels (the §7.1 compressed encoding caps at 15), so 31 rejects corrupt frames
+/// without ever refusing an encodable region.
+const MAX_TILE_LEVEL: u8 = 31;
+
+/// Sequential little-endian reader over one frame's payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.buf.len())
+            .ok_or(DecodeError::Malformed("truncated payload"))?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take returned 4 bytes")))
+    }
+
+    fn i32(&mut self) -> Result<i32, DecodeError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().expect("take returned 4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("take returned 8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn point(&mut self) -> Result<Point, DecodeError> {
+        Ok(Point::new(self.f64()?, self.f64()?))
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed("trailing bytes after the payload"))
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_point(out: &mut Vec<u8>, p: Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+/// Encodes `payload` as one frame (length prefix + tag + payload bytes) appended to `out`.
+fn frame(out: &mut Vec<u8>, tag: u8, payload: impl FnOnce(&mut Vec<u8>)) {
+    let len_at = out.len();
+    put_u32(out, 0); // patched below
+    out.push(tag);
+    payload(out);
+    let len = out.len() - len_at - 4;
+    debug_assert!(len <= MAX_FRAME_LEN, "encoder produced an oversize frame");
+    out[len_at..len_at + 4]
+        .copy_from_slice(&u32::try_from(len).expect("frame fits u32").to_le_bytes());
+}
+
+/// Splits one frame off the front of `buf`: returns the payload (tag included) and the total
+/// number of bytes consumed.
+fn split_frame(buf: &[u8]) -> Result<(&[u8], usize), DecodeError> {
+    let Some(len_bytes) = buf.get(..4) else {
+        return Err(DecodeError::Incomplete);
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("sliced 4 bytes")) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(DecodeError::Oversize(len));
+    }
+    if len == 0 {
+        return Err(DecodeError::Malformed("empty frame (no message tag)"));
+    }
+    let Some(payload) = buf.get(4..4 + len) else {
+        return Err(DecodeError::Incomplete);
+    };
+    Ok((payload, 4 + len))
+}
+
+fn encode_config(out: &mut Vec<u8>, config: &WireConfig) {
+    out.push(match config.objective {
+        WireObjective::Max => 0,
+        WireObjective::Sum => 1,
+    });
+    match config.method {
+        WireMethod::Circle => out.push(0),
+        WireMethod::Tile => out.push(1),
+        WireMethod::TileDirected { theta } => {
+            out.push(2);
+            put_f64(out, theta);
+        }
+        WireMethod::TileDirectedBuffered { theta, buffer } => {
+            out.push(3);
+            put_f64(out, theta);
+            put_u32(out, buffer);
+        }
+    }
+    out.push(u8::from(config.compress_regions) | (u8::from(config.persist_buffers) << 1));
+    match config.max_timestamps {
+        None => out.push(0),
+        Some(cap) => {
+            out.push(1);
+            put_u32(out, cap);
+        }
+    }
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<WireConfig, DecodeError> {
+    let objective = match r.u8()? {
+        0 => WireObjective::Max,
+        1 => WireObjective::Sum,
+        _ => return Err(DecodeError::Malformed("unknown objective")),
+    };
+    let method = match r.u8()? {
+        0 => WireMethod::Circle,
+        1 => WireMethod::Tile,
+        2 => WireMethod::TileDirected { theta: r.f64()? },
+        3 => WireMethod::TileDirectedBuffered { theta: r.f64()?, buffer: r.u32()? },
+        _ => return Err(DecodeError::Malformed("unknown method")),
+    };
+    let flags = r.u8()?;
+    if flags > 0b11 {
+        return Err(DecodeError::Malformed("unknown config flags"));
+    }
+    let max_timestamps = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        _ => return Err(DecodeError::Malformed("unknown horizon marker")),
+    };
+    Ok(WireConfig {
+        objective,
+        method,
+        compress_regions: flags & 1 != 0,
+        persist_buffers: flags & 2 != 0,
+        max_timestamps,
+    })
+}
+
+fn encode_region(out: &mut Vec<u8>, region: &SafeRegion) {
+    match region {
+        SafeRegion::Circle(circle) => {
+            out.push(REGION_CIRCLE);
+            put_point(out, circle.center);
+            put_f64(out, circle.radius);
+        }
+        SafeRegion::Tiles(tiles) => {
+            out.push(REGION_TILES);
+            let frame = tiles.frame();
+            put_point(out, frame.origin);
+            put_f64(out, frame.delta);
+            put_u32(out, u32::try_from(tiles.len()).expect("tile count fits u32"));
+            for cell in tiles.cells() {
+                out.push(cell.level);
+                put_i32(out, cell.ix);
+                put_i32(out, cell.iy);
+            }
+        }
+    }
+}
+
+fn decode_region(r: &mut Reader<'_>) -> Result<SafeRegion, DecodeError> {
+    match r.u8()? {
+        REGION_CIRCLE => {
+            let center = r.point()?;
+            let radius = r.f64()?;
+            Ok(SafeRegion::Circle(Circle::new(center, radius)))
+        }
+        REGION_TILES => {
+            let origin = r.point()?;
+            let delta = r.f64()?;
+            let count = r.u32()? as usize;
+            // 9 bytes per cell must still fit the remaining payload, so a lying count cannot
+            // trigger a huge allocation.
+            if count.saturating_mul(9) > r.buf.len() - r.pos {
+                return Err(DecodeError::Malformed("tile count exceeds the payload"));
+            }
+            let mut region = TileRegion::new(TileFrame { origin, delta });
+            for _ in 0..count {
+                let level = r.u8()?;
+                if level > MAX_TILE_LEVEL {
+                    return Err(DecodeError::Malformed("tile level out of range"));
+                }
+                let ix = r.i32()?;
+                let iy = r.i32()?;
+                region.push(TileCell::new(level, ix, iy));
+            }
+            if region.len() != count {
+                return Err(DecodeError::Malformed("duplicate tile cells"));
+            }
+            Ok(SafeRegion::Tiles(region))
+        }
+        _ => Err(DecodeError::Malformed("unknown region kind")),
+    }
+}
+
+impl Request {
+    /// Appends this message to `out` as one length-prefixed frame.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Register { group_size, config } => frame(out, TAG_REGISTER, |out| {
+                put_u32(out, *group_size);
+                encode_config(out, config);
+            }),
+            Request::Report { group, positions } => frame(out, TAG_REPORT, |out| {
+                put_u64(out, *group);
+                put_u32(out, u32::try_from(positions.len()).expect("group size fits u32"));
+                for p in positions {
+                    put_point(out, *p);
+                }
+            }),
+            Request::Deregister { group } => frame(out, TAG_DEREGISTER, |out| {
+                put_u64(out, *group);
+            }),
+        }
+    }
+
+    /// This message as a fresh frame.
+    #[must_use]
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one frame off the front of `buf`; returns the message and the bytes consumed.
+    ///
+    /// # Errors
+    /// [`DecodeError::Incomplete`] when `buf` holds less than one whole frame (read more and
+    /// retry); any other error means the frame is not a valid uplink message.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let (payload, consumed) = split_frame(buf)?;
+        let mut r = Reader::new(&payload[1..]);
+        let request = match payload[0] {
+            TAG_REGISTER => {
+                let group_size = r.u32()?;
+                let config = decode_config(&mut r)?;
+                Request::Register { group_size, config }
+            }
+            TAG_REPORT => {
+                let group = r.u64()?;
+                let count = r.u32()? as usize;
+                if count.saturating_mul(16) > r.buf.len() - r.pos {
+                    return Err(DecodeError::Malformed("position count exceeds the payload"));
+                }
+                let mut positions = Vec::with_capacity(count);
+                for _ in 0..count {
+                    positions.push(r.point()?);
+                }
+                Request::Report { group, positions }
+            }
+            TAG_DEREGISTER => Request::Deregister { group: r.u64()? },
+            tag => return Err(DecodeError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok((request, consumed))
+    }
+}
+
+impl Response {
+    /// Appends this message to `out` as one length-prefixed frame.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::SafeRegion { group, user, meeting_point, region } => {
+                frame(out, TAG_SAFE_REGION, |out| {
+                    put_u64(out, *group);
+                    put_u32(out, *user);
+                    put_point(out, *meeting_point);
+                    encode_region(out, region);
+                });
+            }
+            Response::ProbeRequest { group, user } => frame(out, TAG_PROBE_REQUEST, |out| {
+                put_u64(out, *group);
+                put_u32(out, *user);
+            }),
+            Response::Notification { group, kind } => frame(out, TAG_NOTIFICATION, |out| {
+                put_u64(out, *group);
+                out.push(match kind {
+                    NotificationKind::Registered => 0,
+                    NotificationKind::Deregistered => 1,
+                    NotificationKind::UnknownGroup => 2,
+                    NotificationKind::BadRequest => 3,
+                });
+            }),
+        }
+    }
+
+    /// This message as a fresh frame.
+    #[must_use]
+    pub fn encoded(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes one frame off the front of `buf`; returns the message and the bytes consumed.
+    ///
+    /// # Errors
+    /// [`DecodeError::Incomplete`] when `buf` holds less than one whole frame (read more and
+    /// retry); any other error means the frame is not a valid downlink message.
+    pub fn decode(buf: &[u8]) -> Result<(Self, usize), DecodeError> {
+        let (payload, consumed) = split_frame(buf)?;
+        let mut r = Reader::new(&payload[1..]);
+        let response = match payload[0] {
+            TAG_SAFE_REGION => {
+                let group = r.u64()?;
+                let user = r.u32()?;
+                let meeting_point = r.point()?;
+                let region = decode_region(&mut r)?;
+                Response::SafeRegion { group, user, meeting_point, region }
+            }
+            TAG_PROBE_REQUEST => Response::ProbeRequest { group: r.u64()?, user: r.u32()? },
+            TAG_NOTIFICATION => {
+                let group = r.u64()?;
+                let kind = match r.u8()? {
+                    0 => NotificationKind::Registered,
+                    1 => NotificationKind::Deregistered,
+                    2 => NotificationKind::UnknownGroup,
+                    3 => NotificationKind::BadRequest,
+                    _ => return Err(DecodeError::Malformed("unknown notification kind")),
+                };
+                Response::Notification { group, kind }
+            }
+            tag => return Err(DecodeError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok((response, consumed))
+    }
+}
+
+/// Reads exactly one frame (length prefix included) off a byte stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream *between* frames (the peer closed the
+/// connection); an EOF in the middle of a frame is an [`std::io::ErrorKind::UnexpectedEof`]
+/// error.  The returned bytes feed straight into [`Request::decode`] / [`Response::decode`].
+///
+/// # Errors
+/// Propagates I/O errors; an oversize length prefix is reported as
+/// [`std::io::ErrorKind::InvalidData`] before any payload allocation.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match stream.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed inside a frame's length prefix",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            DecodeError::Oversize(len).to_string(),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    let mut out = Vec::with_capacity(4 + len);
+    out.extend_from_slice(&len_bytes);
+    out.extend_from_slice(&body);
+    Ok(Some(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile_region() -> SafeRegion {
+        let mut region = TileRegion::with_seed(TileFrame::centered_at(Point::new(4.0, -3.0), 2.0));
+        for (level, ix, iy) in [(0, 1, 0), (1, -2, 3), (2, 5, -7)] {
+            region.push(TileCell::new(level, ix, iy));
+        }
+        SafeRegion::Tiles(region)
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::Register {
+                group_size: 4,
+                config: WireConfig {
+                    objective: WireObjective::Sum,
+                    method: WireMethod::TileDirectedBuffered { theta: 0.75, buffer: 100 },
+                    compress_regions: true,
+                    persist_buffers: true,
+                    max_timestamps: Some(500),
+                },
+            },
+            Request::Report {
+                group: 42,
+                positions: vec![Point::new(1.5, -2.5), Point::new(0.0, 9.75)],
+            },
+            Request::Deregister { group: u64::MAX },
+        ];
+        for request in &requests {
+            let bytes = request.encoded();
+            let (decoded, consumed) = Request::decode(&bytes).expect("a valid frame");
+            assert_eq!(&decoded, request);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_including_tile_regions() {
+        let responses = [
+            Response::SafeRegion {
+                group: 3,
+                user: 1,
+                meeting_point: Point::new(10.0, 20.0),
+                region: SafeRegion::Circle(Circle::new(Point::new(1.0, 2.0), 5.5)),
+            },
+            Response::SafeRegion {
+                group: 3,
+                user: 2,
+                meeting_point: Point::new(-4.0, 0.25),
+                region: tile_region(),
+            },
+            Response::ProbeRequest { group: 3, user: 0 },
+            Response::Notification { group: 9, kind: NotificationKind::Registered },
+            Response::Notification { group: 9, kind: NotificationKind::BadRequest },
+        ];
+        for response in &responses {
+            let bytes = response.encoded();
+            let (decoded, consumed) = Response::decode(&bytes).expect("a valid frame");
+            assert_eq!(&decoded, response);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_frames_decode_sequentially() {
+        let mut wire = Vec::new();
+        Request::Deregister { group: 1 }.encode(&mut wire);
+        Request::Report { group: 2, positions: vec![Point::new(3.0, 4.0)] }.encode(&mut wire);
+        let (first, used) = Request::decode(&wire).unwrap();
+        assert_eq!(first, Request::Deregister { group: 1 });
+        let (second, used_second) = Request::decode(&wire[used..]).unwrap();
+        assert_eq!(second, Request::Report { group: 2, positions: vec![Point::new(3.0, 4.0)] });
+        assert_eq!(used + used_second, wire.len());
+    }
+
+    #[test]
+    fn incomplete_buffers_ask_for_more_bytes() {
+        let bytes = Request::Report { group: 5, positions: vec![Point::new(1.0, 1.0)] }.encoded();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                Request::decode(&bytes[..cut]).unwrap_err(),
+                DecodeError::Incomplete,
+                "a {cut}-byte prefix is incomplete, not malformed"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_rejected_without_panicking() {
+        // Unknown tag (a downlink tag fed to the request decoder and vice versa).
+        let bytes = Response::ProbeRequest { group: 0, user: 0 }.encoded();
+        assert_eq!(Request::decode(&bytes).unwrap_err(), DecodeError::UnknownTag(0x82));
+        let bytes = Request::Deregister { group: 0 }.encoded();
+        assert_eq!(Response::decode(&bytes).unwrap_err(), DecodeError::UnknownTag(0x03));
+
+        // Oversize declared length.
+        let mut huge = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes().to_vec();
+        huge.push(TAG_DEREGISTER);
+        assert!(matches!(Request::decode(&huge).unwrap_err(), DecodeError::Oversize(_)));
+
+        // A lying position count must not over-allocate or panic.
+        let mut lying = Vec::new();
+        frame(&mut lying, TAG_REPORT, |out| {
+            put_u64(out, 1);
+            put_u32(out, u32::MAX);
+        });
+        assert!(matches!(Request::decode(&lying).unwrap_err(), DecodeError::Malformed(_)));
+
+        // Trailing garbage inside the frame is malformed.
+        let mut padded = Vec::new();
+        frame(&mut padded, TAG_DEREGISTER, |out| {
+            put_u64(out, 1);
+            out.push(0xEE);
+        });
+        assert!(matches!(Request::decode(&padded).unwrap_err(), DecodeError::Malformed(_)));
+
+        // An out-of-range tile level is rejected before it can overflow the tile geometry
+        // (`TileFrame::side_at` shifts by the level).
+        let mut deep = Vec::new();
+        frame(&mut deep, TAG_SAFE_REGION, |out| {
+            put_u64(out, 1);
+            put_u32(out, 0);
+            put_point(out, Point::new(0.0, 0.0));
+            out.push(REGION_TILES);
+            put_point(out, Point::new(0.0, 0.0));
+            put_f64(out, 2.0);
+            put_u32(out, 1);
+            out.push(MAX_TILE_LEVEL + 1);
+            put_i32(out, 0);
+            put_i32(out, 0);
+        });
+        assert_eq!(
+            Response::decode(&deep).unwrap_err(),
+            DecodeError::Malformed("tile level out of range")
+        );
+    }
+
+    #[test]
+    fn read_frame_pulls_whole_frames_off_a_stream() {
+        let mut wire = Vec::new();
+        Request::Register { group_size: 2, config: WireConfig::default() }.encode(&mut wire);
+        Request::Deregister { group: 0 }.encode(&mut wire);
+        let mut cursor = std::io::Cursor::new(wire);
+        let first = read_frame(&mut cursor).unwrap().expect("first frame");
+        assert!(matches!(Request::decode(&first).unwrap().0, Request::Register { .. }));
+        let second = read_frame(&mut cursor).unwrap().expect("second frame");
+        assert!(matches!(Request::decode(&second).unwrap().0, Request::Deregister { .. }));
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF between frames");
+
+        // EOF inside a frame is an error, not a silent None.
+        let mut truncated = std::io::Cursor::new(vec![9u8, 0, 0, 0, TAG_DEREGISTER]);
+        assert!(read_frame(&mut truncated).is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! The meeting-point monitoring protocol, wire-shaped.
+//!
+//! The paper's system architecture (Fig. 3) is a client/server protocol: clients stream
+//! location reports uplink, the server answers downlink with safe regions, probes and
+//! notifications.  The simulation layer in `mpn-sim` has always *accounted* for these
+//! messages (its `Message`/`Traffic` cost model); this crate makes them **real**: a
+//! transport-independent [`Request`] / [`Response`] pair with a compact length-prefixed
+//! binary [`codec`], usable in-process (a queue of decoded values) or over any byte stream
+//! (`std::net::TcpStream` in `examples/network_monitoring.rs`).
+//!
+//! # Message shapes
+//!
+//! Uplink ([`Request`], client → server):
+//!
+//! * [`Request::Register`] — open a monitoring session for a group (`group_size` users and a
+//!   [`WireConfig`] choosing objective, safe-region method and horizon);
+//! * [`Request::Report`] — one epoch of user positions for a registered group (both the
+//!   spontaneous step-1 violation reports and the step-2 probe replies travel as reports);
+//! * [`Request::Deregister`] — close the session.
+//!
+//! Downlink ([`Response`], server → client):
+//!
+//! * [`Response::SafeRegion`] — the step-3 unicast: the fresh optimal meeting point plus one
+//!   user's new independent safe region;
+//! * [`Response::ProbeRequest`] — the step-2 downlink: the server asks one user for her
+//!   current location;
+//! * [`Response::Notification`] — control-plane acknowledgements and errors
+//!   ([`NotificationKind`]); a `Registered` notification carries the server-assigned group
+//!   id every later message is addressed by.
+//!
+//! # Cost accounting
+//!
+//! The paper's evaluation measures communication in TCP packets of
+//! [`VALUES_PER_PACKET`](mpn_core::VALUES_PER_PACKET) double-precision values (§7.1).  Every
+//! protocol message exposes [`values`](Request::values) / [`packets`](Request::packets)
+//! under exactly that model, **pinned equal** to the simulation's `Message` cost model
+//! (`tests/proto_parity.rs`): a single-user report costs what a `Message::location_report`
+//! costs, a probe request one value, and a safe-region response `2 +`
+//! [`region_value_count`](mpn_core::region_value_count) values.  A multi-user
+//! [`Request::Report`] is accounted as its constituent per-user reports — the users'
+//! uplinks are physically separate transmissions, the batch is only the server-side framing.
+//! The byte [`codec`] is an implementation detail underneath this model (and at 9 bytes per
+//! tile it is itself well under the 24-byte plain-double encoding).
+//!
+//! Control-plane messages (`Register`, `Deregister`, `Notification`) have no counterpart in
+//! the paper's Fig. 3 accounting; they are charged their literal payload (1–2 values) and
+//! excluded from the parity pin.
+
+#![forbid(unsafe_code)]
+
+pub mod codec;
+
+pub use codec::{read_frame, DecodeError, MAX_FRAME_LEN};
+
+use mpn_core::{packets_for_values, region_value_count, Method, Objective, SafeRegion};
+use mpn_geom::Point;
+
+/// Server-assigned identifier of a monitored group, carried by every post-registration
+/// message (`mpn-sim`'s dense `GroupId`, widened for the wire).
+pub type WireGroupId = u64;
+
+/// The objective a client requests, as shipped on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireObjective {
+    /// Minimise the maximum user distance (MPN).
+    Max,
+    /// Minimise the total user distance (Sum-MPN).
+    Sum,
+}
+
+impl From<WireObjective> for Objective {
+    fn from(wire: WireObjective) -> Self {
+        match wire {
+            WireObjective::Max => Objective::Max,
+            WireObjective::Sum => Objective::Sum,
+        }
+    }
+}
+
+impl From<Objective> for WireObjective {
+    fn from(objective: Objective) -> Self {
+        match objective {
+            Objective::Max => WireObjective::Max,
+            Objective::Sum => WireObjective::Sum,
+        }
+    }
+}
+
+/// The safe-region method a client requests, as shipped on the wire.
+///
+/// This is the compact client-facing description; it resolves to a full server-side
+/// [`Method`] (with the server's default tuning parameters) via [`WireMethod::to_method`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireMethod {
+    /// Circular safe regions (`Circle`).
+    Circle,
+    /// Tile-based safe regions with the default ordering (`Tile`).
+    Tile,
+    /// Tile-based regions with the directed ordering (`Tile-D`).
+    TileDirected {
+        /// Half-angle of the heading cone steering the ordering.
+        theta: f64,
+    },
+    /// Tile-based regions with the directed ordering and §5.4 buffering (`Tile-D-b`).
+    TileDirectedBuffered {
+        /// Half-angle of the heading cone steering the ordering.
+        theta: f64,
+        /// Buffer size `b` (GNN prefix length).
+        buffer: u32,
+    },
+}
+
+impl WireMethod {
+    /// Resolves the wire description to a server-side [`Method`] with default tuning.
+    #[must_use]
+    pub fn to_method(self) -> Method {
+        match self {
+            WireMethod::Circle => Method::circle(),
+            WireMethod::Tile => Method::tile(),
+            WireMethod::TileDirected { theta } => Method::tile_directed(theta),
+            WireMethod::TileDirectedBuffered { theta, buffer } => {
+                Method::tile_directed_buffered(theta, buffer as usize)
+            }
+        }
+    }
+}
+
+/// The monitoring configuration a client chooses at registration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireConfig {
+    /// MAX or SUM objective.
+    pub objective: WireObjective,
+    /// Safe-region method.
+    pub method: WireMethod,
+    /// Whether tile regions are shipped compressed (the paper's default).
+    pub compress_regions: bool,
+    /// Whether the server keeps the §5.4 GNN buffer alive across updates (Tile-D-b only).
+    pub persist_buffers: bool,
+    /// Cap on monitored timestamps; `None` = open horizon (monitor until deregistration).
+    pub max_timestamps: Option<u32>,
+}
+
+impl Default for WireConfig {
+    /// MAX objective, circular regions, compression on, open horizon.
+    fn default() -> Self {
+        Self {
+            objective: WireObjective::Max,
+            method: WireMethod::Circle,
+            compress_regions: true,
+            persist_buffers: false,
+            max_timestamps: None,
+        }
+    }
+}
+
+/// An uplink protocol message (client → server).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Open a monitoring session for a group of `group_size` users.
+    Register {
+        /// Number of users in the group.
+        group_size: u32,
+        /// The requested monitoring configuration.
+        config: WireConfig,
+    },
+    /// One epoch of location reports for the whole group (one position per user, in user
+    /// order) — step 1 of Fig. 3 for violators, and the step-2 probe replies.
+    Report {
+        /// The group the positions belong to.
+        group: WireGroupId,
+        /// One position per user.
+        positions: Vec<Point>,
+    },
+    /// Close the session; the server reclaims its state and retains the metrics.
+    Deregister {
+        /// The group to deregister.
+        group: WireGroupId,
+    },
+}
+
+/// A downlink protocol message (server → client).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Step 3 of Fig. 3, per user: the fresh optimal meeting point together with the user's
+    /// new independent safe region.
+    SafeRegion {
+        /// The group the assignment belongs to.
+        group: WireGroupId,
+        /// Index of the user inside her group.
+        user: u32,
+        /// The optimal meeting point of this update.
+        meeting_point: Point,
+        /// The user's new safe region.
+        region: SafeRegion,
+    },
+    /// Step 2 of Fig. 3 (downlink): the server asks one user for her current location.
+    ProbeRequest {
+        /// The group being probed.
+        group: WireGroupId,
+        /// Index of the probed user.
+        user: u32,
+    },
+    /// Control-plane acknowledgement or error.
+    Notification {
+        /// The group the notification concerns (the assigned id for
+        /// [`NotificationKind::Registered`], the echoed id otherwise).
+        group: WireGroupId,
+        /// What happened.
+        kind: NotificationKind,
+    },
+}
+
+/// What a [`Response::Notification`] announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NotificationKind {
+    /// The registration succeeded; the notification's `group` is the assigned id.
+    Registered,
+    /// The deregistration succeeded; the session's state was reclaimed.
+    Deregistered,
+    /// The addressed group is not registered (never was, or already deregistered).
+    UnknownGroup,
+    /// The request was malformed at the protocol level: a report whose batch does not hold
+    /// one position per user, or a registration for an empty group.
+    BadRequest,
+}
+
+impl Request {
+    /// Payload size of this message in §7.1 double-precision values.
+    ///
+    /// A [`Report`](Request::Report) is 2 values per contained position (each user's
+    /// coordinates); the control-plane messages are charged their literal payload.
+    #[must_use]
+    pub fn values(&self) -> usize {
+        match self {
+            // Control plane: group size + config word.
+            Request::Register { .. } => 2,
+            Request::Report { positions, .. } => 2 * positions.len(),
+            Request::Deregister { .. } => 1,
+        }
+    }
+
+    /// Number of §7.1 TCP packets this message costs.
+    ///
+    /// A [`Report`](Request::Report) batch is accounted as its constituent per-user
+    /// transmissions (each user uplinks separately; the batch is server-side framing), which
+    /// pins it to `Message::location_report` / `Message::probe_reply` of the simulation.
+    #[must_use]
+    pub fn packets(&self) -> usize {
+        match self {
+            Request::Report { positions, .. } => positions.len() * packets_for_values(2),
+            other => packets_for_values(other.values()),
+        }
+    }
+}
+
+impl Response {
+    /// Payload size of this message in §7.1 double-precision values.
+    ///
+    /// A [`SafeRegion`](Response::SafeRegion) costs the meeting point (2 values) plus the
+    /// shared region payload definition [`region_value_count`] — `compress` chooses the
+    /// paper's compressed tile encoding, exactly like the group's
+    /// `MonitorConfig::compress_regions`.
+    #[must_use]
+    pub fn values(&self, compress: bool) -> usize {
+        match self {
+            Response::SafeRegion { region, .. } => 2 + region_value_count(region, compress),
+            Response::ProbeRequest { .. } => 1,
+            Response::Notification { .. } => 1,
+        }
+    }
+
+    /// Number of §7.1 TCP packets this message costs.
+    #[must_use]
+    pub fn packets(&self, compress: bool) -> usize {
+        packets_for_values(self.values(compress))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpn_geom::Circle;
+
+    #[test]
+    fn wire_objective_and_method_resolve_to_core_types() {
+        assert_eq!(Objective::from(WireObjective::Max), Objective::Max);
+        assert_eq!(Objective::from(WireObjective::Sum), Objective::Sum);
+        assert_eq!(WireObjective::from(Objective::Sum), WireObjective::Sum);
+        assert_eq!(WireMethod::Circle.to_method().name(), "Circle");
+        assert_eq!(WireMethod::Tile.to_method().name(), "Tile");
+        assert_eq!(WireMethod::TileDirected { theta: 0.8 }.to_method().name(), "Tile-D");
+        assert_eq!(
+            WireMethod::TileDirectedBuffered { theta: 0.8, buffer: 50 }.to_method().name(),
+            "Tile-D-b"
+        );
+    }
+
+    #[test]
+    fn report_accounting_is_per_user() {
+        let report = Request::Report {
+            group: 7,
+            positions: vec![Point::new(1.0, 2.0), Point::new(3.0, 4.0), Point::new(5.0, 6.0)],
+        };
+        assert_eq!(report.values(), 6);
+        assert_eq!(report.packets(), 3, "three separate single-packet uplinks");
+    }
+
+    #[test]
+    fn safe_region_response_counts_meeting_point_plus_region() {
+        let response = Response::SafeRegion {
+            group: 1,
+            user: 0,
+            meeting_point: Point::new(9.0, 9.0),
+            region: SafeRegion::Circle(Circle::new(Point::new(9.0, 9.0), 4.0)),
+        };
+        assert_eq!(response.values(true), 5);
+        assert_eq!(response.packets(true), 1);
+        let probe = Response::ProbeRequest { group: 1, user: 2 };
+        assert_eq!(probe.values(true), 1);
+        assert_eq!(probe.packets(true), 1);
+    }
+}

@@ -1,0 +1,185 @@
+//! Property tests for the wire codec: every encodable message decodes back bit-identically,
+//! and no byte soup makes the decoders panic.
+//!
+//! Uses the offline `proptest` shim: cases are deterministic (seeded from the test name), so
+//! a failing case index reproduces exactly.
+
+use mpn_core::{SafeRegion, TileCell, TileFrame, TileRegion};
+use mpn_geom::{Circle, Point};
+use mpn_proto::{
+    DecodeError, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
+};
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+
+fn wire_config(
+    objective: usize,
+    method: usize,
+    theta: f64,
+    buffer: u32,
+    flags: usize,
+    cap: Option<u32>,
+) -> WireConfig {
+    WireConfig {
+        objective: if objective == 0 { WireObjective::Max } else { WireObjective::Sum },
+        method: match method {
+            0 => WireMethod::Circle,
+            1 => WireMethod::Tile,
+            2 => WireMethod::TileDirected { theta },
+            _ => WireMethod::TileDirectedBuffered { theta, buffer },
+        },
+        compress_regions: flags & 1 != 0,
+        persist_buffers: flags & 2 != 0,
+        max_timestamps: cap,
+    }
+}
+
+fn tile_region(origin: Point, delta: f64, cells: &[(usize, i32, i32)]) -> SafeRegion {
+    let mut region = TileRegion::new(TileFrame { origin, delta });
+    for &(level, ix, iy) in cells {
+        region.push(TileCell::new(level as u8, ix, iy));
+    }
+    SafeRegion::Tiles(region)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn register_frames_round_trip(
+        group_size in 1u32..10_000,
+        objective in 0usize..2,
+        method in 0usize..4,
+        theta in 1e-3f64..std::f64::consts::PI,
+        buffer in 1u32..1_000,
+        flags in 0usize..4,
+        cap in (0usize..2, 0u32..1_000_000).prop_map(|(set, v)| (set == 1).then_some(v)),
+    ) {
+        let request = Request::Register {
+            group_size,
+            config: wire_config(objective, method, theta, buffer, flags, cap),
+        };
+        let bytes = request.encoded();
+        let (decoded, consumed) = Request::decode(&bytes).expect("a valid frame");
+        prop_assert_eq!(decoded, request);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn report_and_deregister_frames_round_trip(
+        group in 0u64..u64::MAX,
+        coords in prop_vec((-50_000.0f64..50_000.0, -50_000.0f64..50_000.0), 1..40),
+    ) {
+        let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let report = Request::Report { group, positions };
+        let bytes = report.encoded();
+        let (decoded, consumed) = Request::decode(&bytes).expect("a valid frame");
+        prop_assert_eq!(&decoded, &report);
+        prop_assert_eq!(consumed, bytes.len());
+
+        let deregister = Request::Deregister { group };
+        let bytes = deregister.encoded();
+        let (decoded, _) = Request::decode(&bytes).expect("a valid frame");
+        prop_assert_eq!(decoded, deregister);
+    }
+
+    #[test]
+    fn circle_safe_region_frames_round_trip(
+        group in 0u64..1 << 48,
+        user in 0u32..256,
+        mx in -10_000.0f64..10_000.0,
+        my in -10_000.0f64..10_000.0,
+        radius in 1e-6f64..5_000.0,
+    ) {
+        let response = Response::SafeRegion {
+            group,
+            user,
+            meeting_point: Point::new(mx, my),
+            region: SafeRegion::Circle(Circle::new(Point::new(mx + 1.0, my - 1.0), radius)),
+        };
+        let bytes = response.encoded();
+        let (decoded, consumed) = Response::decode(&bytes).expect("a valid frame");
+        prop_assert_eq!(decoded, response);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn tile_safe_region_frames_round_trip(
+        ox in -10_000.0f64..10_000.0,
+        oy in -10_000.0f64..10_000.0,
+        delta in 0.5f64..500.0,
+        cells in prop_vec((0usize..6, -2_000i32..2_000, -2_000i32..2_000), 1..80),
+    ) {
+        let response = Response::SafeRegion {
+            group: 5,
+            user: 1,
+            meeting_point: Point::new(ox, oy),
+            region: tile_region(Point::new(ox, oy), delta, &cells),
+        };
+        let bytes = response.encoded();
+        let (decoded, consumed) = Response::decode(&bytes).expect("a valid frame");
+        prop_assert_eq!(decoded, response);
+        prop_assert_eq!(consumed, bytes.len());
+    }
+
+    #[test]
+    fn probe_and_notification_frames_round_trip(
+        group in 0u64..u64::MAX,
+        user in 0u32..10_000,
+        kind in 0usize..4,
+    ) {
+        let probe = Response::ProbeRequest { group, user };
+        let bytes = probe.encoded();
+        prop_assert_eq!(Response::decode(&bytes).expect("a valid frame").0, probe);
+
+        let kind = [
+            NotificationKind::Registered,
+            NotificationKind::Deregistered,
+            NotificationKind::UnknownGroup,
+            NotificationKind::BadRequest,
+        ][kind];
+        let notification = Response::Notification { group, kind };
+        let bytes = notification.encoded();
+        prop_assert_eq!(Response::decode(&bytes).expect("a valid frame").0, notification);
+    }
+
+    #[test]
+    fn truncated_frames_are_incomplete_never_panics(
+        coords in prop_vec((-100.0f64..100.0, -100.0f64..100.0), 1..10),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let positions: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let bytes = Request::Report { group: 3, positions }.encoded();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert_eq!(Request::decode(&bytes[..cut]).unwrap_err(), DecodeError::Incomplete);
+    }
+
+    #[test]
+    fn byte_soup_never_panics_the_decoders(
+        bytes in prop_vec(0usize..256, 0..96).prop_map(
+            |v| v.into_iter().map(|b| b as u8).collect::<Vec<u8>>()
+        ),
+    ) {
+        // Whatever the bytes say, decoding returns — it must not panic or over-allocate.
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn corrupting_one_byte_of_a_valid_frame_never_panics(
+        position in 0usize..1_000,
+        value in 0usize..256,
+    ) {
+        let mut bytes = Response::SafeRegion {
+            group: 11,
+            user: 3,
+            meeting_point: Point::new(1.0, 2.0),
+            region: tile_region(Point::new(0.0, 0.0), 2.0, &[(0, 0, 0), (1, 2, -3), (2, 4, 4)]),
+        }
+        .encoded();
+        let index = position % bytes.len();
+        bytes[index] = value as u8;
+        // The result may be Ok (the flip hit a coordinate) or any error — just never a panic.
+        let _ = Response::decode(&bytes);
+    }
+}

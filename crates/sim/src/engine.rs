@@ -1,45 +1,53 @@
-//! The multi-group monitoring engine: many [`GroupSession`]s, sharded, ticked by a
-//! persistent worker pool, with dynamic fleet membership.
+//! The multi-group monitoring engine: many owned [`GroupSession`]s, sharded, ticked by a
+//! persistent worker pool, with dynamic fleet membership and message-driven position input.
 //!
 //! A production meeting-point service is a long-lived server: thousands of groups come and go
 //! while the POI index stays hot, and the server's cost is dominated by per-update work, not
 //! setup.  [`MonitoringEngine`] models exactly that:
 //!
-//! * **Sharded sessions.**  Registered sessions live in `S` shards; every
-//!   [`tick`](MonitoringEngine::tick) advances all live sessions one timestamp, one worker per
-//!   live shard.  Groups are fully independent — each session owns its engine, its
-//!   [`SessionState`](mpn_core::SessionState) and its metrics — so a parallel tick produces
-//!   exactly the counters of the equivalent serial replay, regardless of shard count or
-//!   executor.
+//! * **Owned, sharded sessions.**  The engine owns its POI index (an [`Arc<RTree>`] shared
+//!   with whoever built it) and every registered [`GroupSession`] owns its state — there is
+//!   no borrowed trajectory data and no lifetime tying the engine to a pre-baked workload.
+//!   Position input arrives as owned [`EpochUpdate`] batches via
+//!   [`submit`](MonitoringEngine::submit) (the streaming path) or from a per-session
+//!   [`TrajectoryFeed`] (the replay path); every [`tick`](MonitoringEngine::tick) advances
+//!   all live sessions one epoch, one worker per live shard.  Groups are fully independent,
+//!   so a parallel tick produces exactly the counters of the equivalent serial replay,
+//!   regardless of shard count or executor.
 //! * **Persistent executor.**  The default executor is an [`mpn_pool::WorkerPool`]: one
 //!   long-lived thread per shard, parked on a channel between ticks and woken by the tick
 //!   barrier ([`WorkerPool::scoped`](mpn_pool::WorkerPool::scoped)).  The historical
 //!   spawn-and-join executor is still available as [`TickExecutor::ScopedThreads`] — it is
 //!   the parity baseline (`tests/engine_parity.rs`) and the comparison point of the
-//!   `executor/quiet_tick_*` micro-benchmarks.  Swapping executors remains local to
-//!   [`MonitoringEngine::tick`]; counters are identical either way.
+//!   `executor/quiet_tick_*` micro-benchmarks.
 //! * **Fleet lifecycle.**  Beyond late [`register`](MonitoringEngine::register)-ation, groups
 //!   can [`deregister`](MonitoringEngine::deregister) mid-run (their session state — heading
 //!   predictors, §5.4 buffer, last answer — is reclaimed, their metrics are retained for
 //!   fleet accounting) and later [`rejoin`](MonitoringEngine::rejoin) under their old id.
 //!   Freed ids are kept in a free-list over the shard directory and reused; new groups are
-//!   placed on the **least-loaded** shard (not round-robin), so a fleet whose long-horizon
-//!   groups skew onto a few shards rebalances as membership churns.
+//!   placed on the shard with the least **remaining work** — occupancy weighted by each
+//!   session's remaining horizon ([`GroupSession::remaining_horizon`]), with open-horizon
+//!   streaming sessions counting as [`OPEN_HORIZON_WEIGHT`] — so a fleet mixing short
+//!   replays with long-running streams balances by load, not head-count.
 //!
 //! Sessions may have different horizons (and even different methods/objectives); a session
-//! past its horizon is skipped.  [`run_to_completion`](MonitoringEngine::run_to_completion)
-//! ticks until every registered session finished, and per-group / fleet-wide metrics
-//! (including those of deregistered groups) are available throughout via
-//! [`group_metrics`](MonitoringEngine::group_metrics) /
+//! past its bounded horizon is skipped, and an **open-horizon** streaming session (no
+//! [`MonitorConfig`](crate::MonitorConfig) timestamp cap) never finishes — it leaves the
+//! fleet via deregistration.  [`run_to_completion`](MonitoringEngine::run_to_completion)
+//! ticks until every registered session finished and therefore requires a fleet of bounded,
+//! feed-driven sessions.  Per-group / fleet-wide metrics (including those of deregistered
+//! groups) are available throughout via [`group_metrics`](MonitoringEngine::group_metrics) /
 //! [`fleet_metrics`](MonitoringEngine::fleet_metrics) and per-shard load via
 //! [`shard_loads`](MonitoringEngine::shard_loads).
 
+use std::sync::Arc;
+
+use mpn_geom::Point;
 use mpn_index::RTree;
-use mpn_mobility::Trajectory;
 use mpn_pool::WorkerPool;
 
 use crate::metrics::{MonitoringMetrics, ShardLoad};
-use crate::monitor::{GroupSession, MonitorConfig, StepOutcome};
+use crate::monitor::{GroupSession, MonitorConfig, SessionEvent, StepOutcome, TrajectoryFeed};
 
 /// Identifier of a registered group.
 ///
@@ -48,6 +56,60 @@ use crate::monitor::{GroupSession, MonitorConfig, StepOutcome};
 /// the next [`register`](MonitoringEngine::register) / [`rejoin`](MonitoringEngine::rejoin),
 /// so an id is only unique among the groups alive at one time.
 pub type GroupId = usize;
+
+/// Placement weight of an open-horizon streaming session (a session with no timestamp cap,
+/// which runs until deregistered).
+///
+/// Horizon-aware placement sums each shard's *remaining* epochs; an open-ended session has no
+/// such bound, so it is charged a large constant — heavier than any realistic bounded replay
+/// (≈12 days of 1 Hz epochs), so streams spread across shards before piling onto one.
+pub const OPEN_HORIZON_WEIGHT: usize = 1 << 20;
+
+/// One epoch of owned user positions for a registered group — the unit of position input a
+/// streaming front-end pushes into the engine via [`MonitoringEngine::submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochUpdate {
+    /// The group the positions belong to.
+    pub group_id: GroupId,
+    /// One position per user, in user order.
+    pub positions: Vec<Point>,
+}
+
+/// Why an [`EpochUpdate`] was rejected by [`MonitoringEngine::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The id is not registered (never allocated, or currently deregistered).
+    UnknownGroup(GroupId),
+    /// The batch does not hold exactly one position per user of the group.
+    WrongGroupSize {
+        /// The offending group.
+        group_id: GroupId,
+        /// The group's registered size.
+        expected: usize,
+        /// The batch's size.
+        got: usize,
+    },
+    /// The session has consumed its whole bounded horizon: it will never advance again, so
+    /// queueing more epochs would only grow its inbox until deregistration.
+    Finished(GroupId),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownGroup(id) => write!(f, "group {id} is not registered"),
+            SubmitError::WrongGroupSize { group_id, expected, got } => write!(
+                f,
+                "group {group_id} has {expected} users but the epoch update carries {got} positions"
+            ),
+            SubmitError::Finished(id) => {
+                write!(f, "group {id} has finished its horizon and consumes no more epochs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Which executor advances the live shards of a tick.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -74,10 +136,15 @@ pub struct TickSummary {
     pub violators: usize,
     /// Sessions that performed their initial registration during this tick.
     pub registered: usize,
-    /// Sessions that have replayed their whole horizon, totalled over every **currently
-    /// registered** session (not a per-tick delta).  A deregistered group leaves this total —
-    /// it is accounted under [`retired`](TickSummary::retired) instead.
+    /// Sessions that have consumed their whole **bounded** horizon, totalled over every
+    /// currently registered session (not a per-tick delta).  Open-horizon streaming sessions
+    /// never count here — they have nothing to finish — and a deregistered group leaves this
+    /// total for [`retired`](TickSummary::retired).
     pub finished: usize,
+    /// Live sessions that had no epoch to consume this tick (empty inbox, no or exhausted
+    /// feed).  Replay fleets never starve before their horizon; for a streaming fleet this
+    /// counts groups whose clients are reporting slower than the server ticks.
+    pub starved: usize,
     /// Deregistered groups whose retired metrics are still attributed to their id (an id
     /// reused by `register`/`rejoin` leaves this total; its old epoch then only feeds the
     /// fleet-wide reclaimed-epochs aggregate).
@@ -86,19 +153,20 @@ pub struct TickSummary {
 
 /// One shard: a slice of the fleet advanced by a single worker per tick.
 #[derive(Debug, Default)]
-struct Shard<'g> {
-    sessions: Vec<(GroupId, GroupSession<'g>)>,
+struct Shard {
+    sessions: Vec<(GroupId, GroupSession)>,
     /// Ticks during which this shard had no live session (no worker was woken for it).
     idle_ticks: usize,
 }
 
-impl Shard<'_> {
-    /// Advances every live session one timestamp; returns this shard's tick tally.
+impl Shard {
+    /// Advances every live session one epoch; returns this shard's tick tally.
     fn advance_all(&mut self, tree: &RTree) -> TickSummary {
         let mut tally = TickSummary::default();
         for (_, session) in &mut self.sessions {
             match session.advance(tree) {
                 StepOutcome::Finished => {}
+                StepOutcome::Starved => tally.starved += 1,
                 StepOutcome::Registered => {
                     tally.advanced += 1;
                     tally.registered += 1;
@@ -116,6 +184,15 @@ impl Shard<'_> {
         }
         tally
     }
+
+    /// Remaining work on this shard: the sum of its sessions' remaining horizons, with
+    /// open-horizon sessions charged [`OPEN_HORIZON_WEIGHT`].
+    fn weight(&self) -> usize {
+        self.sessions
+            .iter()
+            .map(|(_, s)| s.remaining_horizon().unwrap_or(OPEN_HORIZON_WEIGHT))
+            .fold(0usize, usize::saturating_add)
+    }
 }
 
 /// One entry of the shard directory: where a group's session lives, or what it left behind.
@@ -129,10 +206,14 @@ enum DirectoryEntry {
 }
 
 /// A sharded, stateful server monitoring a churning fleet of moving groups over one POI index.
+///
+/// Since the owned-session refactor the engine has no lifetime parameters: it shares the POI
+/// index via [`Arc`] and every session owns its data, so engines can be moved into server
+/// threads, held alongside their workload, and fed from the network.
 #[derive(Debug)]
-pub struct MonitoringEngine<'a, 'g> {
-    tree: &'a RTree,
-    shards: Vec<Shard<'g>>,
+pub struct MonitoringEngine {
+    tree: Arc<RTree>,
+    shards: Vec<Shard>,
     /// `id -> session location (or retired metrics)`, indexed by [`GroupId`].
     directory: Vec<DirectoryEntry>,
     /// Ids of deregistered groups, available for reuse (every entry is `Retired` in the
@@ -148,16 +229,18 @@ pub struct MonitoringEngine<'a, 'g> {
     pool: Option<WorkerPool>,
 }
 
-impl<'a, 'g> MonitoringEngine<'a, 'g> {
+impl MonitoringEngine {
     /// Creates an engine over the POI tree with `num_shards` worker shards and the default
     /// persistent-pool executor.
     ///
-    /// `num_shards` is clamped to at least 1.  One shard means fully serial ticks.
+    /// Accepts the tree by value or as a pre-shared [`Arc`] (`Arc::clone` a handle to keep
+    /// reading the index from outside the engine).  `num_shards` is clamped to at least 1.
+    /// One shard means fully serial ticks.
     ///
     /// # Panics
     /// Panics when the POI tree is empty.
     #[must_use]
-    pub fn new(tree: &'a RTree, num_shards: usize) -> Self {
+    pub fn new(tree: impl Into<Arc<RTree>>, num_shards: usize) -> Self {
         Self::with_executor(tree, num_shards, TickExecutor::default())
     }
 
@@ -170,7 +253,12 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
     /// # Panics
     /// Panics when the POI tree is empty.
     #[must_use]
-    pub fn with_executor(tree: &'a RTree, num_shards: usize, executor: TickExecutor) -> Self {
+    pub fn with_executor(
+        tree: impl Into<Arc<RTree>>,
+        num_shards: usize,
+        executor: TickExecutor,
+    ) -> Self {
+        let tree = tree.into();
         assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
         let num_shards = num_shards.max(1);
         let pool = (executor == TickExecutor::WorkerPool && num_shards > 1)
@@ -189,45 +277,71 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
 
     /// Creates an engine with one shard per available CPU.
     #[must_use]
-    pub fn with_default_shards(tree: &'a RTree) -> Self {
+    pub fn with_default_shards(tree: impl Into<Arc<RTree>>) -> Self {
         let shards = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         Self::new(tree, shards)
     }
 
-    /// Registers a group for monitoring and returns its id.
+    /// The engine's shared POI index.
+    #[must_use]
+    pub fn tree(&self) -> &Arc<RTree> {
+        &self.tree
+    }
+
+    /// Registers a replay group for monitoring and returns its id.
     ///
-    /// The group is placed on the currently **least-loaded** shard (fewest registered
-    /// sessions, lowest index on ties); its id is popped from the free-list of deregistered
-    /// ids when one is available (folding that id's retired metrics record into the
-    /// reclaimed-epochs aggregate), else freshly allocated.
-    ///
-    /// Groups registered after ticking has started replay their trajectories from their own
-    /// `t = 0` (sessions are self-clocked); their registration message is counted on the next
-    /// tick.
-    ///
-    /// The trajectories are borrowed, not copied: full-scale workloads are tens of megabytes
-    /// and the replay only ever reads locations per timestamp.
+    /// This is the replay path: the feed plays its recorded trajectories back one epoch per
+    /// tick (see [`TrajectoryFeed`]), giving the session a bounded horizon.  Shorthand for
+    /// [`register_session`](MonitoringEngine::register_session) with a
+    /// [`GroupSession::replay`] session.
     ///
     /// # Panics
-    /// Panics when the group is empty (before any engine bookkeeping is touched).
-    pub fn register(&mut self, group: &'g [Trajectory], config: MonitorConfig) -> GroupId {
-        assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+    /// Panics when the feed's group is empty (checked at feed construction).
+    pub fn register(&mut self, feed: TrajectoryFeed, config: MonitorConfig) -> GroupId {
+        self.register_session(GroupSession::replay(feed, config))
+    }
+
+    /// Registers a streaming group of `group_size` users and returns its id.
+    ///
+    /// The session consumes [`EpochUpdate`]s pushed via [`submit`](MonitoringEngine::submit);
+    /// without a [`MonitorConfig`] timestamp cap it has an open horizon and monitors until
+    /// deregistered.
+    ///
+    /// # Panics
+    /// Panics when `group_size` is zero.
+    pub fn register_stream(&mut self, group_size: usize, config: MonitorConfig) -> GroupId {
+        self.register_session(GroupSession::streaming(group_size, config))
+    }
+
+    /// Registers a pre-built session (the general form of
+    /// [`register`](MonitoringEngine::register) /
+    /// [`register_stream`](MonitoringEngine::register_stream), e.g. for a session with its
+    /// event log enabled).
+    ///
+    /// The session is placed on the shard with the least **remaining work** (occupancy
+    /// weighted by remaining horizon, lowest index on ties); its id is popped from the
+    /// free-list of deregistered ids when one is available (folding that id's retired metrics
+    /// record into the reclaimed-epochs aggregate), else freshly allocated.
+    ///
+    /// Groups registered after ticking has started are self-clocked (they start from their
+    /// own `t = 0`); their registration message is counted on the next tick that feeds them.
+    pub fn register_session(&mut self, session: GroupSession) -> GroupId {
         let id = self.free_ids.pop().unwrap_or_else(|| {
             // Placeholder entry; `place` overwrites it with the real location.
             self.directory.push(DirectoryEntry::Active { shard: 0, slot: 0 });
             self.directory.len() - 1
         });
-        self.place(id, group, config);
+        self.place(id, session);
         id
     }
 
     /// Removes a group from monitoring, reclaiming its session state.
     ///
     /// The session is torn down via [`GroupSession::retire`] (dropping the cached §5.4 GNN
-    /// buffer and last answer along with the heading predictors) and its accumulated metrics
-    /// are returned.  A copy of those metrics — compacted via
-    /// [`MonitoringMetrics::into_compact`], so dead epochs never hold per-update sample
-    /// vectors — is retained in the shard directory: counted by
+    /// buffer, the last answer, any queued epochs and undrained events along with the heading
+    /// predictors) and its accumulated metrics are returned.  A copy of those metrics —
+    /// compacted via [`MonitoringMetrics::into_compact`], so dead epochs never hold
+    /// per-update sample vectors — is retained in the shard directory: counted by
     /// [`retired_count`](MonitoringEngine::retired_count), included in
     /// [`fleet_metrics`](MonitoringEngine::fleet_metrics) and
     /// [`into_group_metrics`](MonitoringEngine::into_group_metrics).  When the id is reused
@@ -253,42 +367,91 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
         Some(metrics)
     }
 
-    /// Re-registers a group under the id of a previously deregistered one.
+    /// Re-registers a replay group under the id of a previously deregistered one.
     ///
     /// The new session starts fresh from its own `t = 0` (sessions are self-clocked).  The
     /// id's retired metrics record moves into the reclaimed-epochs aggregate — still part of
     /// [`fleet_metrics`](MonitoringEngine::fleet_metrics), no longer attributed to the id —
     /// so callers who want the previous epoch's numbers per group take them from
     /// [`deregister`](MonitoringEngine::deregister)'s return value.  Placement is
-    /// least-loaded-shard, like [`register`](MonitoringEngine::register).
+    /// least-remaining-work, like [`register`](MonitoringEngine::register).
     ///
     /// # Panics
-    /// Panics when `id` is not currently free (never registered, or still active) or when the
-    /// group is empty (both checked before any engine bookkeeping is touched).
-    pub fn rejoin(
-        &mut self,
-        id: GroupId,
-        group: &'g [Trajectory],
-        config: MonitorConfig,
-    ) -> GroupId {
-        assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
+    /// Panics when `id` is not currently free (never registered, or still active); the empty
+    /// group case panics at feed construction.
+    pub fn rejoin(&mut self, id: GroupId, feed: TrajectoryFeed, config: MonitorConfig) -> GroupId {
+        self.rejoin_session(id, GroupSession::replay(feed, config))
+    }
+
+    /// Re-registers a pre-built session under the id of a previously deregistered group (the
+    /// general form of [`rejoin`](MonitoringEngine::rejoin)).
+    ///
+    /// # Panics
+    /// Panics when `id` is not currently free (never registered, or still active).
+    pub fn rejoin_session(&mut self, id: GroupId, session: GroupSession) -> GroupId {
         let pos = self
             .free_ids
             .iter()
             .position(|&free| free == id)
             .expect("rejoin requires the id of a deregistered group");
         self.free_ids.swap_remove(pos);
-        self.place(id, group, config);
+        self.place(id, session);
         id
+    }
+
+    /// Queues one epoch of owned positions for a streaming group; the batch is consumed by
+    /// the next [`tick`](MonitoringEngine::tick) (batches queue FIFO, one per tick).
+    ///
+    /// # Errors
+    /// Rejects updates for unknown / deregistered ids, batches whose size does not match the
+    /// group, and sessions past their bounded horizon (their inbox would otherwise grow
+    /// forever, unconsumed) — all without touching any session state, so a network front-end
+    /// maps these to protocol-level error notifications instead of crashing the server.
+    pub fn submit(&mut self, update: EpochUpdate) -> Result<(), SubmitError> {
+        let EpochUpdate { group_id, positions } = update;
+        let Some(&DirectoryEntry::Active { shard, slot }) = self.directory.get(group_id) else {
+            return Err(SubmitError::UnknownGroup(group_id));
+        };
+        let session = &mut self.shards[shard].sessions[slot].1;
+        if positions.len() != session.group_size() {
+            return Err(SubmitError::WrongGroupSize {
+                group_id,
+                expected: session.group_size(),
+                got: positions.len(),
+            });
+        }
+        if session.is_finished() {
+            return Err(SubmitError::Finished(group_id));
+        }
+        session.submit(positions);
+        Ok(())
+    }
+
+    /// Drains every session's protocol event log (sessions registered
+    /// [`with_events`](GroupSession::with_events)), in shard order, tagged with the group id.
+    ///
+    /// Sessions without an event log contribute nothing; the
+    /// [`MonitoringServer`](crate::server::MonitoringServer) turns these into wire responses
+    /// after each tick.
+    pub fn drain_events(&mut self) -> Vec<(GroupId, SessionEvent)> {
+        let mut drained = Vec::new();
+        for shard in &mut self.shards {
+            for (id, session) in &mut shard.sessions {
+                for event in session.take_events() {
+                    drained.push((*id, event));
+                }
+            }
+        }
+        drained
     }
 
     /// Inserts a fresh session for `id` on the least-loaded shard.  If the id carries a
     /// retired metrics record (it is being reused), the record is folded into the
     /// reclaimed-epochs aggregate so fleet-wide totals never shrink.
-    fn place(&mut self, id: GroupId, group: &'g [Trajectory], config: MonitorConfig) {
+    fn place(&mut self, id: GroupId, session: GroupSession) {
         let shard = self.least_loaded_shard();
         let slot = self.shards[shard].sessions.len();
-        self.shards[shard].sessions.push((id, GroupSession::new(group, config)));
+        self.shards[shard].sessions.push((id, session));
         if let DirectoryEntry::Retired(previous) =
             std::mem::replace(&mut self.directory[id], DirectoryEntry::Active { shard, slot })
         {
@@ -297,12 +460,13 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
         }
     }
 
-    /// The shard with the fewest registered sessions (lowest index on ties).
+    /// The shard with the least remaining work — occupancy weighted by remaining horizon,
+    /// open-horizon sessions charged [`OPEN_HORIZON_WEIGHT`] (lowest index on ties).
     fn least_loaded_shard(&self) -> usize {
         self.shards
             .iter()
             .enumerate()
-            .min_by_key(|(_, shard)| shard.sessions.len())
+            .min_by_key(|(_, shard)| shard.weight())
             .map(|(i, _)| i)
             .expect("an engine always has at least one shard")
     }
@@ -337,19 +501,22 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
         self.clock
     }
 
-    /// The longest horizon over all registered sessions.
+    /// The longest horizon over all registered sessions: `Some(max)` when every session is
+    /// bounded (0 for an empty fleet), `None` as soon as any registered session has an open
+    /// horizon — the fleet then has no finite completion point.
     #[must_use]
-    pub fn horizon(&self) -> usize {
-        self.sessions().map(GroupSession::horizon).max().unwrap_or(0)
+    pub fn horizon(&self) -> Option<usize> {
+        self.sessions().try_fold(0usize, |acc, s| s.horizon().map(|h| acc.max(h)))
     }
 
-    /// Whether every registered session has replayed its whole horizon.
+    /// Whether every registered session has consumed its whole bounded horizon.  A fleet
+    /// holding any open-horizon streaming session is never finished.
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.sessions().all(GroupSession::is_finished)
     }
 
-    /// Per-shard occupancy and idle-tick counters, in shard order.
+    /// Per-shard occupancy, idle-tick and remaining-work counters, in shard order.
     #[must_use]
     pub fn shard_loads(&self) -> Vec<ShardLoad> {
         self.shards
@@ -360,12 +527,13 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
                 occupancy: s.sessions.len(),
                 live: s.sessions.iter().filter(|(_, session)| !session.is_finished()).count(),
                 idle_ticks: s.idle_ticks,
+                weight: s.weight(),
             })
             .collect()
     }
 
-    /// Advances every live session one timestamp, one pool worker (or scoped thread) per
-    /// *live* shard.
+    /// Advances every live session one epoch, one pool worker (or scoped thread) per *live*
+    /// shard.
     ///
     /// Shards whose sessions have all finished (or that hold none) are skipped without waking
     /// a worker — their [`idle_ticks`](ShardLoad::idle_ticks) counter is bumped instead — and
@@ -374,8 +542,9 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
     /// per-group metrics are identical to a serial replay regardless of shard count and
     /// executor.
     pub fn tick(&mut self) -> TickSummary {
-        let tree = self.tree;
-        let mut live: Vec<&mut Shard<'g>> = Vec::with_capacity(self.shards.len());
+        let tree = Arc::clone(&self.tree);
+        let tree: &RTree = &tree;
+        let mut live: Vec<&mut Shard> = Vec::with_capacity(self.shards.len());
         let mut already_finished = 0usize;
         for shard in &mut self.shards {
             if shard.sessions.iter().any(|(_, s)| !s.is_finished()) {
@@ -413,6 +582,7 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
             acc.violators += t.violators;
             acc.registered += t.registered;
             acc.finished += t.finished;
+            acc.starved += t.starved;
             acc
         });
         summary.finished += already_finished;
@@ -422,12 +592,32 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
         summary
     }
 
-    /// Ticks until every session has replayed its whole horizon; returns the tick count.
+    /// Ticks until every session has consumed its whole horizon; returns the tick count.
+    ///
+    /// This is a replay-fleet driver: every session must have a **bounded** horizon (an
+    /// open-horizon streaming session never finishes) and epochs to consume on every tick
+    /// (a feed, or pre-[`submit`](MonitoringEngine::submit)ted batches covering the
+    /// horizon).
+    ///
+    /// # Panics
+    /// Panics when a registered session has an open horizon, or when a tick makes no
+    /// progress because every unfinished session starved — both would otherwise loop
+    /// forever.
     pub fn run_to_completion(&mut self) -> usize {
+        assert!(
+            self.horizon().is_some(),
+            "run_to_completion requires bounded horizons; open-horizon streaming sessions \
+             only leave the fleet via deregister"
+        );
         let mut ticks = 0;
         while !self.is_finished() {
-            self.tick();
+            let summary = self.tick();
             ticks += 1;
+            assert!(
+                summary.advanced > 0 || self.is_finished(),
+                "run_to_completion stalled: every unfinished session starved (no feed and no \
+                 submitted epochs)"
+            );
         }
         ticks
     }
@@ -437,7 +627,7 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
     /// # Panics
     /// Panics on an unknown or deregistered id.
     #[must_use]
-    pub fn group(&self, id: GroupId) -> &GroupSession<'g> {
+    pub fn group(&self, id: GroupId) -> &GroupSession {
         match &self.directory[id] {
             DirectoryEntry::Active { shard, slot } => &self.shards[*shard].sessions[*slot].1,
             DirectoryEntry::Retired(_) => panic!("group {id} has been deregistered"),
@@ -524,12 +714,12 @@ impl<'a, 'g> MonitoringEngine<'a, 'g> {
             .collect()
     }
 
-    fn sessions(&self) -> impl Iterator<Item = &GroupSession<'g>> {
+    fn sessions(&self) -> impl Iterator<Item = &GroupSession> {
         self.shards.iter().flat_map(|shard| shard.sessions.iter().map(|(_, s)| s))
     }
 }
 
-impl Drop for MonitoringEngine<'_, '_> {
+impl Drop for MonitoringEngine {
     /// Shuts the worker pool down; in debug builds, asserts every worker joined cleanly (a
     /// hung or panicked worker here means a pool shutdown bug — surface it in tests rather
     /// than leaking threads).
@@ -549,16 +739,21 @@ mod tests {
     use mpn_core::{Method, Objective};
     use mpn_mobility::poi::{clustered_pois, PoiConfig};
     use mpn_mobility::waypoint::{random_waypoint, WaypointConfig};
+    use mpn_mobility::Trajectory;
 
-    fn world(groups: usize) -> (RTree, Vec<Vec<Trajectory>>) {
+    fn world(groups: usize) -> (Arc<RTree>, Vec<Vec<Trajectory>>) {
         let pois =
             clustered_pois(&PoiConfig { count: 700, domain: 1000.0, ..PoiConfig::default() }, 5);
-        let tree = RTree::bulk_load(&pois);
+        let tree = Arc::new(RTree::bulk_load(&pois));
         let config = WaypointConfig { domain: 1000.0, speed_limit: 6.0, timestamps: 120 };
         let fleet = (0..groups)
             .map(|g| (0..3).map(|i| random_waypoint(&config, (g * 13 + i) as u64)).collect())
             .collect();
         (tree, fleet)
+    }
+
+    fn feed(group: &[Trajectory]) -> TrajectoryFeed {
+        TrajectoryFeed::from_group(group)
     }
 
     #[test]
@@ -568,9 +763,9 @@ mod tests {
 
         let serial: Vec<_> = fleet.iter().map(|g| run_monitoring(&tree, g, &config)).collect();
 
-        let mut engine = MonitoringEngine::new(&tree, 4);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 4);
         for group in &fleet {
-            engine.register(group, config);
+            engine.register(feed(group), config);
         }
         let ticks = engine.run_to_completion();
         assert_eq!(ticks, 80, "80-timestamp horizon takes 80 ticks");
@@ -589,17 +784,18 @@ mod tests {
     fn tick_summaries_account_for_every_session() {
         let (tree, fleet) = world(5);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(40);
-        let mut engine = MonitoringEngine::new(&tree, 2);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
         for group in &fleet {
-            engine.register(group, config);
+            engine.register(feed(group), config);
         }
         assert_eq!(engine.group_count(), 5);
-        assert_eq!(engine.horizon(), 40);
+        assert_eq!(engine.horizon(), Some(40));
 
         let first = engine.tick();
         assert_eq!(first.tick, 0);
         assert_eq!(first.registered, 5, "first tick registers every group");
         assert_eq!(first.advanced, 5);
+        assert_eq!(first.starved, 0, "replay feeds cover their horizon");
 
         let second = engine.tick();
         assert_eq!(second.tick, 1);
@@ -618,9 +814,9 @@ mod tests {
     fn fleet_metrics_merge_all_groups() {
         let (tree, fleet) = world(3);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(30);
-        let mut engine = MonitoringEngine::new(&tree, 8);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 8);
         for group in &fleet {
-            engine.register(group, config);
+            engine.register(feed(group), config);
         }
         engine.run_to_completion();
         let fleet_metrics = engine.fleet_metrics();
@@ -633,13 +829,13 @@ mod tests {
     #[test]
     fn heterogeneous_sessions_coexist() {
         let (tree, fleet) = world(2);
-        let mut engine = MonitoringEngine::new(&tree, 3);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 3);
         let a = engine.register(
-            &fleet[0],
+            feed(&fleet[0]),
             MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(20),
         );
         let b = engine.register(
-            &fleet[1],
+            feed(&fleet[1]),
             MonitorConfig::new(Objective::Sum, Method::tile()).with_max_timestamps(50),
         );
         engine.run_to_completion();
@@ -653,11 +849,11 @@ mod tests {
     fn late_registration_starts_from_the_groups_own_clock() {
         let (tree, fleet) = world(2);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(25);
-        let mut engine = MonitoringEngine::new(&tree, 2);
-        engine.register(&fleet[0], config);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        engine.register(feed(&fleet[0]), config);
         engine.tick();
         engine.tick();
-        let late = engine.register(&fleet[1], config);
+        let late = engine.register(feed(&fleet[1]), config);
         let summary = engine.tick();
         assert_eq!(summary.registered, 1, "the late group registers on its first tick");
         engine.run_to_completion();
@@ -668,8 +864,8 @@ mod tests {
     fn deregistered_groups_keep_their_metrics_and_free_their_ids() {
         let (tree, fleet) = world(4);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(30);
-        let mut engine = MonitoringEngine::new(&tree, 2);
-        let ids: Vec<_> = fleet.iter().map(|g| engine.register(g, config)).collect();
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        let ids: Vec<_> = fleet.iter().map(|g| engine.register(feed(g), config)).collect();
         for _ in 0..10 {
             engine.tick();
         }
@@ -690,7 +886,7 @@ mod tests {
 
         // The freed id is reused by the next registration; the old epoch moves into the
         // reclaimed aggregate so fleet totals never shrink.
-        let reused = engine.register(&fleet[1], config);
+        let reused = engine.register(feed(&fleet[1]), config);
         assert_eq!(reused, ids[1]);
         assert_eq!(engine.group_count(), 4);
         assert_eq!(engine.retired_count(), 0);
@@ -710,10 +906,10 @@ mod tests {
     fn rejecting_an_empty_group_leaves_the_bookkeeping_intact() {
         let (tree, fleet) = world(1);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
-        let mut engine = MonitoringEngine::new(&tree, 2);
-        engine.register(&fleet[0], config);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        engine.register(feed(&fleet[0]), config);
         let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.register(&[], config);
+            engine.register(TrajectoryFeed::from_group(&[]), config);
         }));
         assert!(panicked.is_err(), "empty groups are rejected");
         assert_eq!(engine.group_count(), 1, "the failed registration left no trace");
@@ -726,13 +922,13 @@ mod tests {
     fn rejoin_requires_a_freed_id_and_restarts_the_group() {
         let (tree, fleet) = world(2);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(20);
-        let mut engine = MonitoringEngine::new(&tree, 2);
-        let id = engine.register(&fleet[0], config);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        let id = engine.register(feed(&fleet[0]), config);
         for _ in 0..5 {
             engine.tick();
         }
         engine.deregister(id).unwrap();
-        let back = engine.rejoin(id, &fleet[0], config);
+        let back = engine.rejoin(id, feed(&fleet[0]), config);
         assert_eq!(back, id);
         let summary = engine.tick();
         assert_eq!(summary.registered, 1, "a rejoined group re-registers on its next tick");
@@ -744,21 +940,57 @@ mod tests {
     fn registration_fills_the_least_loaded_shard() {
         let (tree, fleet) = world(6);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
-        let mut engine = MonitoringEngine::new(&tree, 3);
-        let ids: Vec<_> = fleet.iter().map(|g| engine.register(g, config)).collect();
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 3);
+        let ids: Vec<_> = fleet.iter().map(|g| engine.register(feed(g), config)).collect();
         let loads = engine.shard_loads();
         assert!(loads.iter().all(|l| l.occupancy == 2), "6 groups spread 2-2-2 over 3 shards");
+        assert!(loads.iter().all(|l| l.weight == 20), "2 sessions x 10 remaining epochs");
 
         // Empty one shard, then register twice: both go to the emptied shard.
         engine.deregister(ids[0]).unwrap();
         engine.deregister(ids[3]).unwrap();
         let loads = engine.shard_loads();
         assert_eq!(loads[0].occupancy, 0, "ids 0 and 3 both lived on shard 0");
-        let a = engine.register(&fleet[0], config);
-        let b = engine.register(&fleet[3], config);
+        let a = engine.register(feed(&fleet[0]), config);
+        let b = engine.register(feed(&fleet[3]), config);
         let loads = engine.shard_loads();
         assert_eq!(loads[0].occupancy, 2, "both replacements fill the emptied shard");
         assert!(a != b);
+    }
+
+    #[test]
+    fn placement_weights_occupancy_by_remaining_horizon() {
+        let (tree, fleet) = world(3);
+        let long = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(100);
+        let short = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        // One long session lands on shard 0; five short sessions (50 epochs of total work)
+        // are still lighter than it, so they all pile onto shard 1 — occupancy-only
+        // placement would have alternated.
+        engine.register(feed(&fleet[0]), long);
+        for _ in 0..5 {
+            engine.register(feed(&fleet[1]), short);
+        }
+        let loads = engine.shard_loads();
+        assert_eq!(loads[0].occupancy, 1);
+        assert_eq!(loads[1].occupancy, 5);
+        assert_eq!(loads[0].weight, 100);
+        assert_eq!(loads[1].weight, 50);
+        // The sixth short session tips shard 1 to 60 — still the lighter shard.
+        engine.register(feed(&fleet[2]), short);
+        assert_eq!(engine.shard_loads()[1].occupancy, 6);
+
+        // An open-horizon stream outweighs any bounded replay.
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        engine.register_stream(3, MonitorConfig::new(Objective::Max, Method::circle()));
+        let loads = engine.shard_loads();
+        assert_eq!(loads[0].weight, OPEN_HORIZON_WEIGHT);
+        for _ in 0..4 {
+            engine.register(feed(&fleet[0]), long);
+        }
+        let loads = engine.shard_loads();
+        assert_eq!(loads[0].occupancy, 1, "bounded sessions avoid the stream's shard");
+        assert_eq!(loads[1].occupancy, 4);
     }
 
     #[test]
@@ -766,24 +998,138 @@ mod tests {
         let (tree, fleet) = world(2);
         let short = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(5);
         let long = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(15);
-        let mut engine = MonitoringEngine::new(&tree, 2);
-        engine.register(&fleet[0], short);
-        engine.register(&fleet[1], long);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        engine.register(feed(&fleet[0]), short);
+        engine.register(feed(&fleet[1]), long);
         engine.run_to_completion();
         let loads = engine.shard_loads();
         assert_eq!(loads[0].idle_ticks, 10, "the short group's shard idles for 10 ticks");
         assert_eq!(loads[1].idle_ticks, 0);
         assert_eq!(loads[0].live, 0);
+        assert_eq!(loads[0].weight, 0, "a finished shard has no remaining work");
+    }
+
+    #[test]
+    fn submitted_epochs_drive_streaming_sessions_through_ticks() {
+        let (tree, fleet) = world(2);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(30);
+        let replay = run_monitoring(&tree, &fleet[0], &config);
+
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        let id = engine.register_stream(fleet[0].len(), config);
+        assert_eq!(engine.horizon(), Some(30), "a capped stream is bounded");
+
+        let mut source = TrajectoryFeed::from_group(&fleet[0]);
+        for tick in 0..30 {
+            let positions = source.next_epoch().expect("the recording covers the horizon");
+            engine.submit(EpochUpdate { group_id: id, positions }).expect("live group");
+            let summary = engine.tick();
+            assert_eq!(summary.advanced, 1);
+            assert_eq!(summary.starved, 0);
+            assert_eq!(summary.registered, usize::from(tick == 0));
+        }
+        assert!(engine.is_finished());
+        assert_eq!(engine.group_metrics(id).updates, replay.updates);
+        assert_eq!(engine.group_metrics(id).traffic, replay.traffic);
+        assert_eq!(engine.group_metrics(id).stats, replay.stats);
+    }
+
+    #[test]
+    fn starved_streams_are_counted_but_do_not_advance() {
+        let (tree, fleet) = world(1);
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        let id = engine.register_stream(3, config);
+        assert_eq!(engine.horizon(), None, "an uncapped stream has an open horizon");
+        assert!(!engine.is_finished(), "open-horizon fleets are never finished");
+
+        let summary = engine.tick();
+        assert_eq!(summary.starved, 1);
+        assert_eq!(summary.advanced, 0);
+        assert_eq!(summary.finished, 0, "open-horizon sessions never count as finished");
+
+        let positions: Vec<Point> = fleet[0].iter().map(|t| t.at(0)).collect();
+        engine.submit(EpochUpdate { group_id: id, positions }).unwrap();
+        let summary = engine.tick();
+        assert_eq!(summary.registered, 1);
+        assert_eq!(summary.starved, 0);
+        assert_eq!(engine.group_metrics(id).updates, 1);
+    }
+
+    #[test]
+    fn submit_rejects_unknown_groups_and_bad_batches() {
+        let (tree, fleet) = world(1);
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        let id = engine.register_stream(3, config);
+
+        let bad = engine.submit(EpochUpdate { group_id: 99, positions: vec![Point::ORIGIN; 3] });
+        assert_eq!(bad, Err(SubmitError::UnknownGroup(99)));
+        let bad = engine.submit(EpochUpdate { group_id: id, positions: vec![Point::ORIGIN] });
+        assert_eq!(bad, Err(SubmitError::WrongGroupSize { group_id: id, expected: 3, got: 1 }));
+
+        engine.deregister(id).unwrap();
+        let positions: Vec<Point> = fleet[0].iter().map(|t| t.at(0)).collect();
+        let bad = engine.submit(EpochUpdate { group_id: id, positions });
+        assert_eq!(bad, Err(SubmitError::UnknownGroup(id)), "deregistered ids reject updates");
+
+        // A bounded stream past its horizon rejects further epochs instead of queueing them
+        // forever (its inbox would never be drained again).
+        let capped = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(2);
+        let done = engine.register_stream(3, capped);
+        for _ in 0..2 {
+            let positions: Vec<Point> = fleet[0].iter().map(|t| t.at(0)).collect();
+            engine.submit(EpochUpdate { group_id: done, positions }).unwrap();
+            engine.tick();
+        }
+        assert!(engine.group(done).is_finished());
+        let positions: Vec<Point> = fleet[0].iter().map(|t| t.at(0)).collect();
+        let bad = engine.submit(EpochUpdate { group_id: done, positions });
+        assert_eq!(bad, Err(SubmitError::Finished(done)));
+        assert_eq!(engine.group(done).pending_epochs(), 0, "nothing was queued");
+    }
+
+    #[test]
+    fn run_to_completion_rejects_open_horizons() {
+        let (tree, _) = world(1);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        engine.register_stream(3, MonitorConfig::new(Objective::Max, Method::circle()));
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_to_completion();
+        }));
+        assert!(panicked.is_err(), "an open-horizon fleet can never run to completion");
+    }
+
+    #[test]
+    fn drain_events_tags_session_events_with_group_ids() {
+        let (tree, fleet) = world(2);
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(20);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+        let silent = engine.register(feed(&fleet[0]), config);
+        let logged = engine
+            .register_session(GroupSession::replay(feed(&fleet[1]), config).with_events(true));
+        engine.tick();
+        let events = engine.drain_events();
+        assert!(events.iter().all(|(id, _)| *id == logged), "only logged sessions emit");
+        assert_eq!(
+            events.len(),
+            engine.group(logged).group_size(),
+            "registration assigns every user"
+        );
+        assert!(events.iter().any(|(_, e)| matches!(e, SessionEvent::Assigned { .. })));
+        let _ = silent;
+        assert!(engine.drain_events().is_empty(), "draining is destructive");
     }
 
     #[test]
     fn scoped_thread_executor_is_still_available() {
         let (tree, fleet) = world(4);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(25);
-        let mut engine = MonitoringEngine::with_executor(&tree, 4, TickExecutor::ScopedThreads);
+        let mut engine =
+            MonitoringEngine::with_executor(Arc::clone(&tree), 4, TickExecutor::ScopedThreads);
         assert_eq!(engine.executor(), TickExecutor::ScopedThreads);
         for group in &fleet {
-            engine.register(group, config);
+            engine.register(feed(group), config);
         }
         engine.run_to_completion();
         for (id, group) in fleet.iter().enumerate() {
@@ -796,9 +1142,9 @@ mod tests {
     fn engine_shutdown_joins_the_pool_workers() {
         let (tree, fleet) = world(4);
         let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(10);
-        let mut engine = MonitoringEngine::new(&tree, 4);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 4);
         for group in &fleet {
-            engine.register(group, config);
+            engine.register(feed(group), config);
         }
         engine.tick();
         engine.tick();
@@ -808,8 +1154,8 @@ mod tests {
         drop(engine);
 
         // An engine that never ticked in parallel (single shard: no pool) also drops cleanly.
-        let mut serial = MonitoringEngine::new(&tree, 1);
-        serial.register(&fleet[0], config);
+        let mut serial = MonitoringEngine::new(Arc::clone(&tree), 1);
+        serial.register(feed(&fleet[0]), config);
         serial.run_to_completion();
         drop(serial);
     }

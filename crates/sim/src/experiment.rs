@@ -9,7 +9,7 @@ use mpn_mobility::GroupWorkload;
 
 use crate::engine::MonitoringEngine;
 use crate::metrics::MonitoringMetrics;
-use crate::monitor::MonitorConfig;
+use crate::monitor::{MonitorConfig, TrajectoryFeed};
 
 /// Averaged results of running one method over a whole workload.
 #[derive(Debug, Clone)]
@@ -67,6 +67,10 @@ pub fn run_workload(
 /// With more than one shard the protocol counters (updates, packets, R-tree work) are
 /// unchanged — groups are independent — but the per-update CPU times are measured under
 /// multi-core contention and should not be compared against serial runs.
+///
+/// The owned-session engine shares its POI index via `Arc` and replays each group through a
+/// [`TrajectoryFeed`], so the tree and the workload's groups are cloned once per call — a
+/// one-off memcpy that is negligible against the monitoring compute it feeds.
 #[must_use]
 pub fn run_workload_sharded(
     tree: &RTree,
@@ -74,9 +78,9 @@ pub fn run_workload_sharded(
     config: &MonitorConfig,
     num_shards: usize,
 ) -> WorkloadSummary {
-    let mut engine = MonitoringEngine::new(tree, num_shards);
+    let mut engine = MonitoringEngine::new(tree.clone(), num_shards);
     for group in workload.iter() {
-        engine.register(group, *config);
+        engine.register(TrajectoryFeed::from_group(group), *config);
     }
     engine.run_to_completion();
     summarize(engine.into_group_metrics())

@@ -8,25 +8,42 @@
 //! * **running time** — CPU time per safe-region computation,
 //! * **communication cost** — TCP packets exchanged between clients and the server.
 //!
-//! # Architecture
+//! # Architecture: own-and-consume
 //!
-//! The monitoring layer is built from two pieces:
+//! Since the owned-session refactor nothing in the monitoring stack borrows workload data;
+//! position input flows *into* the server as owned per-epoch batches, which is what a real
+//! deployment looks like.  The stack has four layers:
 //!
-//! * [`GroupSession`] ([`monitor`]) — the protocol state machine of *one* moving group:
-//!   violation detection against the last answer, the report/probe/notify message exchange,
-//!   and the per-group engine state ([`mpn_core::SessionState`]: heading predictors, §5.4 GNN
-//!   buffer, last answer) that persists across updates;
+//! * [`GroupSession`] ([`monitor`]) — the protocol state machine of *one* moving group.  It
+//!   owns its engine, its [`mpn_core::SessionState`] (heading predictors, §5.4 GNN buffer,
+//!   last answer) and its metrics, and **consumes** one epoch of owned positions per
+//!   [`advance`](GroupSession::advance): either batches queued via
+//!   [`submit`](GroupSession::submit) (streaming) or epochs played back by a
+//!   [`TrajectoryFeed`] (replay — a thin adapter over `Arc`-shared recorded trajectories,
+//!   counter-bit-identical to the historical borrowing replay).  A session without a
+//!   timestamp cap has an **open horizon**: it monitors until deregistered.
 //! * [`MonitoringEngine`] ([`engine`]) — a churning fleet of sessions sharded over a
-//!   persistent worker pool and advanced one timestamp per [`tick`](MonitoringEngine::tick),
-//!   with dynamic membership ([`register`](MonitoringEngine::register) /
-//!   [`deregister`](MonitoringEngine::deregister) / [`rejoin`](MonitoringEngine::rejoin)
-//!   over a free-list of group ids, least-loaded shard placement) and per-group, per-shard
-//!   ([`ShardLoad`]) and fleet-wide [`MonitoringMetrics`] / [`Traffic`] aggregation.
+//!   persistent worker pool and advanced one epoch per [`tick`](MonitoringEngine::tick).
+//!   The engine holds its POI index via `Arc` and has no lifetime parameters, so it moves
+//!   freely into server threads.  Dynamic membership
+//!   ([`register`](MonitoringEngine::register) / [`register_stream`](MonitoringEngine::register_stream)
+//!   / [`deregister`](MonitoringEngine::deregister) / [`rejoin`](MonitoringEngine::rejoin))
+//!   runs over a free-list of group ids with **horizon-aware** least-loaded placement
+//!   (occupancy weighted by remaining epochs, [`ShardLoad::weight`]); streaming input
+//!   arrives as [`EpochUpdate`]s via [`submit`](MonitoringEngine::submit).
+//! * [`MonitoringServer`] ([`server`]) — the `mpn-proto` front-end: a queue of wire-shaped
+//!   `Request`s drained into sharded ticks, with the sessions' [`SessionEvent`]s turned into
+//!   per-user `Response`s (probe requests, safe-region assignments).  Works in-process or
+//!   over any byte stream via the `mpn-proto` codec; `examples/network_monitoring.rs` runs
+//!   it both ways, including loopback TCP.
+//! * [`Message`] / [`Traffic`] ([`message`]) — the §7.1 cost model (packets of 67 doubles),
+//!   shared with `mpn-proto`'s wire accounting through
+//!   [`mpn_core::region_value_count`].
 //!
 //! [`run_monitoring`] remains as the single-group compatibility wrapper (bit-identical
-//! counters to the historical stateless loop) and [`experiment::run_workload`] drives a whole
-//! multi-group workload through the engine, which is how every figure of the paper is
-//! reproduced by `mpn-bench`.
+//! counters to the historical stateless loop, pinned by `tests/engine_parity.rs`) and
+//! [`experiment::run_workload`] drives a whole multi-group workload through the engine,
+//! which is how every figure of the paper is reproduced by `mpn-bench`.
 
 #![forbid(unsafe_code)]
 
@@ -35,9 +52,16 @@ pub mod experiment;
 pub mod message;
 pub mod metrics;
 pub mod monitor;
+pub mod server;
 
-pub use engine::{GroupId, MonitoringEngine, TickExecutor, TickSummary};
+pub use engine::{
+    EpochUpdate, GroupId, MonitoringEngine, SubmitError, TickExecutor, TickSummary,
+    OPEN_HORIZON_WEIGHT,
+};
 pub use experiment::{run_workload, run_workload_sharded, WorkloadSummary};
 pub use message::{Message, MessageKind, Traffic};
 pub use metrics::{MonitoringMetrics, ShardLoad};
-pub use monitor::{run_monitoring, GroupSession, MonitorConfig, StepOutcome};
+pub use monitor::{
+    run_monitoring, GroupSession, MonitorConfig, SessionEvent, StepOutcome, TrajectoryFeed,
+};
+pub use server::{monitor_config, MonitoringServer};

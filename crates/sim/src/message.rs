@@ -12,7 +12,7 @@
 //! circle, 3 values per square tile and 4 values per rectangle; the lossless compression of
 //! `mpn-core::compress` reduces tile regions to roughly half a value per tile.
 
-use mpn_core::{packets_for_values, CompressedTileRegion, SafeRegion};
+use mpn_core::{packets_for_values, region_value_count, SafeRegion};
 
 /// The direction and kind of a message, mirroring Fig. 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,24 +58,15 @@ impl Message {
     /// A result notification: meeting point coordinates plus the safe-region payload.
     ///
     /// When `compress` is true, tile regions are shipped in the lossless compressed encoding;
-    /// circles are always 3 plain values.
+    /// circles are always 3 plain values.  The region payload size is the shared §7.1
+    /// definition [`mpn_core::region_value_count`], which also pins the `mpn-proto` wire
+    /// accounting.
     #[must_use]
     pub fn result_notification(region: &SafeRegion, compress: bool) -> Self {
-        let region_values = match region {
-            SafeRegion::Circle(_) => 3,
-            SafeRegion::Tiles(tiles) => {
-                if compress {
-                    CompressedTileRegion::encode(tiles)
-                        .map(|c| c.value_count())
-                        // Out-of-range cells cannot occur with the default parameters, but fall
-                        // back to the plain encoding rather than undercounting.
-                        .unwrap_or_else(|_| 3 * tiles.len())
-                } else {
-                    3 * tiles.len()
-                }
-            }
-        };
-        Self { kind: MessageKind::ResultNotification, values: 2 + region_values }
+        Self {
+            kind: MessageKind::ResultNotification,
+            values: 2 + region_value_count(region, compress),
+        }
     }
 
     /// Number of TCP packets this message occupies.

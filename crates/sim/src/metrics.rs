@@ -10,8 +10,10 @@ use crate::message::Traffic;
 /// Load snapshot of one engine shard (see
 /// [`MonitoringEngine::shard_loads`](crate::MonitoringEngine::shard_loads)).
 ///
-/// `occupancy` drives the engine's least-loaded placement of new groups; `idle_ticks` counts
-/// the ticks for which the shard's worker was *not* woken (every session finished, or none
+/// `weight` drives the engine's horizon-aware placement of new groups (remaining epochs over
+/// the shard's sessions, open-horizon streams charged
+/// [`OPEN_HORIZON_WEIGHT`](crate::engine::OPEN_HORIZON_WEIGHT)); `idle_ticks` counts the
+/// ticks for which the shard's worker was *not* woken (every session finished, or none
 /// registered), i.e. how much executor work the live-shard filter saved.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardLoad {
@@ -19,10 +21,12 @@ pub struct ShardLoad {
     pub shard: usize,
     /// Sessions currently registered on the shard (live or finished).
     pub occupancy: usize,
-    /// Sessions that have not yet replayed their whole horizon.
+    /// Sessions that have not yet consumed their whole horizon.
     pub live: usize,
     /// Ticks during which the shard had no live session and was skipped by the executor.
     pub idle_ticks: usize,
+    /// Remaining work: the sum of the sessions' remaining (or open-horizon) epoch weights.
+    pub weight: usize,
 }
 
 impl ShardLoad {

@@ -1,26 +1,41 @@
-//! The per-group monitoring state machine.
+//! The per-group monitoring state machine, message-driven and fully owned.
 //!
-//! [`GroupSession`] owns everything the server keeps for one moving group: the trajectories,
-//! the safe-region engine, the per-group [`SessionState`] (heading predictors, §5.4 GNN
-//! buffer, last answer) and the accumulated metrics.  Each [`GroupSession::advance`] call
-//! replays one timestamp of the protocol of Fig. 3:
+//! [`GroupSession`] owns everything the server keeps for one moving group: the safe-region
+//! engine, the per-group [`SessionState`] (heading predictors, §5.4 GNN buffer, last answer)
+//! and the accumulated metrics.  Since the owned-session refactor a session does **not**
+//! borrow trajectory data; it consumes one *epoch* of owned user positions per
+//! [`advance`](GroupSession::advance) call, drawn from two sources:
 //!
-//! * the first call registers the query — every user reports her location once, the server
-//!   computes the initial answer and notifies everyone;
-//! * each later call is one monitoring step: **violation detection** against the last
-//!   answer's safe regions, then (only when at least one user left her region) **step 1** the
-//!   violating users report, **step 2** the server probes the remaining users, **step 3** the
-//!   server recomputes and pushes fresh safe regions to the whole group.
+//! * **submitted batches** ([`GroupSession::submit`]) — the streaming path: a network
+//!   front-end (or the [`MonitoringEngine`](crate::engine::MonitoringEngine)'s
+//!   [`submit`](crate::engine::MonitoringEngine::submit)) queues each epoch's positions into
+//!   the session inbox as they arrive off the wire;
+//! * **a [`TrajectoryFeed`]** — the replay path: a thin adapter that plays a recorded
+//!   trajectory set back one epoch per advance, exactly like the historical borrowing replay
+//!   (and bit-identical in every counter, see `tests/engine_parity.rs`).
 //!
-//! Sessions are self-clocked and [`Send`], so a
+//! Each consumed epoch replays one timestamp of the protocol of Fig. 3: the first epoch
+//! registers the query (every user reports once, the server computes and notifies); each
+//! later epoch is **violation detection** against the last answer, then — only when a user
+//! left her region — the step 1–3 report/probe/recompute/notify exchange.  A session whose
+//! inbox and feed are both dry reports [`StepOutcome::Starved`] and does not advance its
+//! clock: epochs are data-driven, so a streaming group that reports slowly simply progresses
+//! slowly.
+//!
+//! Sessions are self-clocked and `Send`, so a
 //! [`MonitoringEngine`](crate::engine::MonitoringEngine) can advance many of them from worker
-//! threads.  The legacy single-group entry point [`run_monitoring`] is a thin wrapper that
-//! drives one session to its horizon; with the default configuration its metrics (updates,
-//! packets, work counters) are bit-identical to the historical stateless loop.
+//! threads.  With an event log enabled ([`GroupSession::with_events`]) a session records the
+//! per-user protocol sends of each epoch as [`SessionEvent`]s, which the
+//! [`MonitoringServer`](crate::server::MonitoringServer) front-end turns into `mpn-proto`
+//! responses.  The legacy single-group entry point [`run_monitoring`] drives one replay
+//! session to its horizon; with the default configuration its metrics (updates, packets,
+//! work counters) are bit-identical to the historical stateless loop.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
 use std::time::Instant;
 
-use mpn_core::{EngineContext, Method, Objective, SafeRegionEngine, SessionState};
+use mpn_core::{EngineContext, Method, Objective, SafeRegion, SafeRegionEngine, SessionState};
 use mpn_geom::Point;
 use mpn_index::RTree;
 use mpn_mobility::Trajectory;
@@ -39,8 +54,9 @@ pub struct MonitorConfig {
     pub compress_regions: bool,
     /// Smoothing factor of the per-user heading predictor feeding the directed ordering.
     pub heading_smoothing: f64,
-    /// Optional cap on the number of timestamps replayed (useful for quick experiments);
-    /// `None` replays the full common horizon of the group.
+    /// Optional cap on the number of monitored timestamps.  For a replay session `None`
+    /// means the full common horizon of the recorded group; for a streaming session `None`
+    /// means an **open horizon** — the session runs until it is deregistered.
     pub max_timestamps: Option<usize>,
     /// Whether the session keeps its §5.4 GNN buffer alive across updates (Tile-D-b only).
     ///
@@ -82,7 +98,7 @@ impl MonitorConfig {
 /// What one [`GroupSession::advance`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StepOutcome {
-    /// The first call: query registration plus the initial computation.
+    /// The first epoch: query registration plus the initial computation.
     Registered,
     /// Every user stayed inside her safe region; no communication happened.
     Quiet,
@@ -91,62 +107,214 @@ pub enum StepOutcome {
         /// Number of users that had left their safe regions.
         violators: usize,
     },
-    /// The session had already replayed its whole horizon; nothing happened.
+    /// The session had already consumed its whole horizon; nothing happened.
     Finished,
+    /// No epoch was available (empty inbox, no feed or an exhausted one): the session's
+    /// clock did not move.  Never produced by the replay path before its horizon.
+    Starved,
 }
 
-/// The monitoring state machine of one moving group.
-#[derive(Debug)]
-pub struct GroupSession<'g> {
-    /// Borrowed, not owned: the replay driver never copies trajectory data (full-scale
-    /// workloads are tens of megabytes), it only reads locations per timestamp.
-    group: &'g [Trajectory],
-    config: MonitorConfig,
-    engine: Box<dyn SafeRegionEngine>,
-    session: SessionState,
-    metrics: MonitoringMetrics,
-    locations: Vec<Point>,
-    horizon: usize,
-    next_t: usize,
-    registered: bool,
+/// One epoch of the protocol as seen by a single user — the per-user sends a session makes
+/// when its event log is enabled ([`GroupSession::with_events`]).
+///
+/// Events carry owned copies of the shipped payloads (the meeting point and the user's
+/// region), so a front-end can serialise them long after the session has moved on.  They are
+/// recorded **in addition to** the [`Traffic`](crate::message::Traffic) accounting, which is
+/// unchanged either way.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Step 2 (downlink): the server asked this user for her current location.
+    Probed {
+        /// Index of the user inside her group.
+        user: usize,
+    },
+    /// Step 3 (downlink): the server shipped this user the fresh meeting point together with
+    /// her new safe region (also sent after the registration epoch).
+    Assigned {
+        /// Index of the user inside her group.
+        user: usize,
+        /// The optimal meeting point of this update.
+        meeting_point: Point,
+        /// The user's new independent safe region.
+        region: SafeRegion,
+    },
 }
 
-impl<'g> GroupSession<'g> {
-    /// Creates a session over the group's trajectories.
+/// Replay adapter: feeds a recorded trajectory set into an owned [`GroupSession`], one epoch
+/// of positions per [`advance`](GroupSession::advance).
+///
+/// The trajectories sit behind an [`Arc`], so many sessions (or repeated replays) can share
+/// one recorded data set without copying it — full-scale workloads are tens of megabytes.
+/// The feed is exhausted after [`horizon`](TrajectoryFeed::horizon) epochs (the common prefix
+/// every user has data for).
+#[derive(Debug, Clone)]
+pub struct TrajectoryFeed {
+    group: Arc<Vec<Trajectory>>,
+    cursor: usize,
+}
+
+impl TrajectoryFeed {
+    /// Creates a feed over the group's trajectories (pass an `Arc` to share the data).
     ///
     /// # Panics
     /// Panics when the group is empty.
     #[must_use]
-    pub fn new(group: &'g [Trajectory], config: MonitorConfig) -> Self {
+    pub fn new(group: impl Into<Arc<Vec<Trajectory>>>) -> Self {
+        let group = group.into();
         assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
-        let horizon = group.iter().map(Trajectory::len).min().unwrap_or(0);
-        let horizon = config.max_timestamps.map_or(horizon, |cap| horizon.min(cap));
-        let session = SessionState::new(group.len(), config.heading_smoothing)
-            .with_persistent_buffers(config.persist_buffers);
-        let metrics = MonitoringMetrics::new(group.len());
-        Self {
-            engine: config.method.engine(),
-            session,
-            metrics,
-            locations: Vec::with_capacity(group.len()),
-            horizon,
-            next_t: 0,
-            registered: false,
-            group,
-            config,
-        }
+        Self { group, cursor: 0 }
     }
 
-    /// Number of users in the group.
+    /// Creates a feed from a borrowed group, cloning the trajectories once.
+    ///
+    /// # Panics
+    /// Panics when the group is empty.
+    #[must_use]
+    pub fn from_group(group: &[Trajectory]) -> Self {
+        Self::new(group.to_vec())
+    }
+
+    /// Number of users in the recorded group.
     #[must_use]
     pub fn group_size(&self) -> usize {
         self.group.len()
     }
 
-    /// The number of timestamps this session will replay (including the registration).
+    /// Number of epochs the feed can supply: the shortest trajectory's length.
     #[must_use]
     pub fn horizon(&self) -> usize {
+        self.group.iter().map(Trajectory::len).min().unwrap_or(0)
+    }
+
+    /// Number of epochs already fed.
+    #[must_use]
+    pub fn epochs_fed(&self) -> usize {
+        self.cursor
+    }
+
+    /// The next epoch's positions as an owned batch, or `None` when exhausted.
+    ///
+    /// This is the convenience used to pump a feed *into* a streaming session or over a
+    /// network client; the in-session replay path uses the allocation-free
+    /// [`fill_next`](Self::fill_next) instead.
+    pub fn next_epoch(&mut self) -> Option<Vec<Point>> {
+        let mut out = Vec::with_capacity(self.group.len());
+        self.fill_next(&mut out).then_some(out)
+    }
+
+    /// Writes the next epoch's positions into `out` (cleared first); returns `false` when
+    /// the feed is exhausted.
+    pub(crate) fn fill_next(&mut self, out: &mut Vec<Point>) -> bool {
+        if self.cursor >= self.horizon() {
+            return false;
+        }
+        out.clear();
+        out.extend(self.group.iter().map(|traj| traj.at(self.cursor)));
+        self.cursor += 1;
+        true
+    }
+}
+
+/// The monitoring state machine of one moving group, owning all of its server-side state.
+#[derive(Debug)]
+pub struct GroupSession {
+    config: MonitorConfig,
+    engine: Box<dyn SafeRegionEngine>,
+    session: SessionState,
+    metrics: MonitoringMetrics,
+    /// The current epoch's positions (reused across epochs in the replay path).
+    locations: Vec<Point>,
+    group_size: usize,
+    /// `None` = open horizon: the session monitors until deregistered (streaming sessions
+    /// without a [`MonitorConfig::max_timestamps`] cap).
+    horizon: Option<usize>,
+    next_t: usize,
+    registered: bool,
+    /// Owned epoch batches queued by [`submit`](GroupSession::submit), consumed FIFO.
+    inbox: VecDeque<Vec<Point>>,
+    /// Replay source consulted when the inbox is empty.
+    feed: Option<TrajectoryFeed>,
+    /// `Some` iff per-user protocol events are recorded (see [`SessionEvent`]).
+    events: Option<Vec<SessionEvent>>,
+}
+
+impl GroupSession {
+    /// Creates a replay session over a recorded trajectory feed.
+    ///
+    /// The session's horizon is the feed's ([`TrajectoryFeed::horizon`]), capped by
+    /// [`MonitorConfig::max_timestamps`] — exactly the horizon of the historical borrowing
+    /// replay.
+    #[must_use]
+    pub fn replay(feed: TrajectoryFeed, config: MonitorConfig) -> Self {
+        let horizon = feed.horizon();
+        let horizon = config.max_timestamps.map_or(horizon, |cap| horizon.min(cap));
+        let mut session = Self::with_horizon(feed.group_size(), config, Some(horizon));
+        session.feed = Some(feed);
+        session
+    }
+
+    /// Creates a streaming session for a group of `group_size` users whose positions arrive
+    /// via [`submit`](GroupSession::submit).
+    ///
+    /// Without a [`MonitorConfig::max_timestamps`] cap the session has an **open horizon**:
+    /// it is never [`finished`](GroupSession::is_finished) and monitors until deregistered.
+    ///
+    /// # Panics
+    /// Panics when `group_size` is zero.
+    #[must_use]
+    pub fn streaming(group_size: usize, config: MonitorConfig) -> Self {
+        Self::with_horizon(group_size, config, config.max_timestamps)
+    }
+
+    fn with_horizon(group_size: usize, config: MonitorConfig, horizon: Option<usize>) -> Self {
+        assert!(group_size > 0, "monitoring requires at least one user trajectory");
+        let session = SessionState::new(group_size, config.heading_smoothing)
+            .with_persistent_buffers(config.persist_buffers);
+        Self {
+            engine: config.method.engine(),
+            session,
+            metrics: MonitoringMetrics::new(group_size),
+            locations: Vec::with_capacity(group_size),
+            group_size,
+            horizon,
+            next_t: 0,
+            registered: false,
+            inbox: VecDeque::new(),
+            feed: None,
+            events: None,
+            config,
+        }
+    }
+
+    /// Enables (or disables) the per-user protocol event log drained by
+    /// [`take_events`](GroupSession::take_events).
+    ///
+    /// Off by default: the replay paths never pay for cloning regions into events.
+    #[must_use]
+    pub fn with_events(mut self, enabled: bool) -> Self {
+        self.events = enabled.then(Vec::new);
+        self
+    }
+
+    /// Number of users in the group.
+    #[must_use]
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The number of epochs this session will consume (including the registration), or
+    /// `None` for an open-horizon streaming session.
+    #[must_use]
+    pub fn horizon(&self) -> Option<usize> {
         self.horizon
+    }
+
+    /// Epochs left before the session finishes: `None` for an open horizon (the session
+    /// never finishes on its own), `Some(0)` once finished.  This is the weight the
+    /// engine's horizon-aware placement uses.
+    #[must_use]
+    pub fn remaining_horizon(&self) -> Option<usize> {
+        self.horizon.map(|h| h.saturating_sub(self.next_t))
     }
 
     /// The session's configuration.
@@ -161,10 +329,11 @@ impl<'g> GroupSession<'g> {
         &self.session
     }
 
-    /// Whether the whole horizon has been replayed.
+    /// Whether the whole (bounded) horizon has been consumed.  Open-horizon sessions are
+    /// never finished; they leave the server via deregistration.
     #[must_use]
     pub fn is_finished(&self) -> bool {
-        self.registered && self.next_t >= self.horizon
+        self.registered && self.horizon.is_some_and(|h| self.next_t >= h)
     }
 
     /// Metrics accumulated so far.
@@ -179,9 +348,36 @@ impl<'g> GroupSession<'g> {
         self.metrics
     }
 
+    /// Queues one epoch of user positions for the next [`advance`](GroupSession::advance).
+    ///
+    /// Batches are consumed strictly FIFO, one per advance, *before* the feed (if any) is
+    /// consulted — a session fed both ways interleaves deterministically.
+    ///
+    /// # Panics
+    /// Panics when the batch does not hold exactly one position per user (callers that need
+    /// graceful rejection — e.g. a network front-end — validate first; see
+    /// [`MonitoringEngine::submit`](crate::engine::MonitoringEngine::submit)).
+    pub fn submit(&mut self, positions: Vec<Point>) {
+        assert_eq!(positions.len(), self.group_size, "an epoch update needs one position per user");
+        self.inbox.push_back(positions);
+    }
+
+    /// Number of submitted epochs waiting in the inbox.
+    #[must_use]
+    pub fn pending_epochs(&self) -> usize {
+        self.inbox.len()
+    }
+
+    /// Drains the per-user protocol events recorded since the last call (always empty unless
+    /// enabled via [`with_events`](GroupSession::with_events)).
+    pub fn take_events(&mut self) -> Vec<SessionEvent> {
+        self.events.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
     /// Tears the session down on deregistration: explicitly reclaims the engine state
     /// retained between updates (the §5.4 GNN buffer and the last answer, via
-    /// [`SessionState::reclaim`]) before extracting the metrics.
+    /// [`SessionState::reclaim`]) before extracting the metrics.  Queued epochs, the feed
+    /// and any undrained events are dropped with the session.
     ///
     /// Functionally this drops the same memory `into_metrics` would, but the explicit
     /// reclaim keeps the teardown order observable — a long-lived server deregistering a
@@ -193,7 +389,11 @@ impl<'g> GroupSession<'g> {
         self.metrics
     }
 
-    /// Replays the next timestamp of the protocol.
+    /// Consumes the next epoch of the protocol.
+    ///
+    /// The epoch's positions come from the inbox ([`submit`](GroupSession::submit)) first,
+    /// then from the replay feed; with neither available the session
+    /// [`Starved`](StepOutcome::Starved)s and its clock does not move.
     ///
     /// # Panics
     /// Panics when the POI tree is empty.
@@ -203,15 +403,26 @@ impl<'g> GroupSession<'g> {
             return StepOutcome::Finished;
         }
 
+        if let Some(batch) = self.inbox.pop_front() {
+            debug_assert_eq!(batch.len(), self.group_size, "submit checked the batch size");
+            self.locations = batch;
+        } else {
+            let fed = match self.feed.as_mut() {
+                Some(feed) => feed.fill_next(&mut self.locations),
+                None => false,
+            };
+            if !fed {
+                return StepOutcome::Starved;
+            }
+        }
+
         let t = self.next_t;
-        self.locations.clear();
-        self.locations.extend(self.group.iter().map(|traj| traj.at(t)));
         self.session.observe(&self.locations);
 
         if !self.registered {
             // Query registration: every user reports her location once and receives the first
             // answer (counted like any other update).
-            for _ in self.group {
+            for _ in 0..self.group_size {
                 self.metrics.traffic.record(Message::location_report());
             }
             self.compute_and_notify(tree);
@@ -237,10 +448,20 @@ impl<'g> GroupSession<'g> {
             self.metrics.traffic.record(Message::location_report());
         }
         // Step 2: the server probes every other user, who replies.
-        let others = self.group.len() - violators.len();
+        let others = self.group_size - violators.len();
         for _ in 0..others {
             self.metrics.traffic.record(Message::probe());
             self.metrics.traffic.record(Message::probe_reply());
+        }
+        if self.events.is_some() {
+            let mut violating = violators.iter().copied().peekable();
+            for user in 0..self.group_size {
+                if violating.peek() == Some(&user) {
+                    violating.next();
+                } else if let Some(log) = &mut self.events {
+                    log.push(SessionEvent::Probed { user });
+                }
+            }
         }
         // Step 3: recompute and notify everyone.
         self.compute_and_notify(tree);
@@ -258,19 +479,27 @@ impl<'g> GroupSession<'g> {
             answer.all_inside(&self.locations),
             "fresh safe regions must contain the users"
         );
-        for region in &answer.regions {
+        for (user, region) in answer.regions.iter().enumerate() {
             self.metrics
                 .traffic
                 .record(Message::result_notification(region, self.config.compress_regions));
+            if let Some(log) = &mut self.events {
+                log.push(SessionEvent::Assigned {
+                    user,
+                    meeting_point: answer.optimal_point,
+                    region: region.clone(),
+                });
+            }
         }
     }
 }
 
 /// Replays one user group against the server and collects metrics.
 ///
-/// This is the single-group compatibility wrapper over [`GroupSession`]: with the default
-/// configuration (no persistent buffers) the resulting updates, packets and work counters are
-/// bit-identical to the historical stateless monitoring loop.
+/// This is the single-group compatibility wrapper over a [`GroupSession::replay`] session:
+/// with the default configuration (no persistent buffers) the resulting updates, packets and
+/// work counters are bit-identical to the historical stateless monitoring loop
+/// (`tests/engine_parity.rs` pins this).  The trajectories are cloned once into the feed.
 ///
 /// # Panics
 /// Panics when the group is empty or the POI tree is empty.
@@ -281,9 +510,10 @@ pub fn run_monitoring(
     config: &MonitorConfig,
 ) -> MonitoringMetrics {
     assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
-    let mut session = GroupSession::new(group, *config);
+    let mut session = GroupSession::replay(TrajectoryFeed::from_group(group), *config);
     while !session.is_finished() {
-        let _ = session.advance(tree);
+        let outcome = session.advance(tree);
+        debug_assert_ne!(outcome, StepOutcome::Starved, "a replay feed covers its horizon");
     }
     session.into_metrics()
 }
@@ -388,11 +618,12 @@ mod tests {
     #[test]
     fn sessions_report_their_protocol_steps() {
         let (tree, group) = workload();
-        let mut session = GroupSession::new(
-            &group,
+        let mut session = GroupSession::replay(
+            TrajectoryFeed::from_group(&group),
             MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(60),
         );
-        assert_eq!(session.horizon(), 60);
+        assert_eq!(session.horizon(), Some(60));
+        assert_eq!(session.remaining_horizon(), Some(60));
         assert!(!session.is_finished());
         assert_eq!(session.advance(&tree), StepOutcome::Registered);
         let mut quiet = 0usize;
@@ -404,28 +635,94 @@ mod tests {
                     assert!(violators >= 1 && violators <= session.group_size());
                     updated += 1;
                 }
-                StepOutcome::Registered | StepOutcome::Finished => {
+                StepOutcome::Registered | StepOutcome::Finished | StepOutcome::Starved => {
                     panic!("unexpected outcome mid-run")
                 }
             }
         }
+        assert_eq!(session.remaining_horizon(), Some(0));
         assert_eq!(session.advance(&tree), StepOutcome::Finished);
         assert_eq!(quiet + updated, 59);
         assert_eq!(session.metrics().updates, updated + 1);
     }
 
     #[test]
-    fn persistent_buffers_cut_rtree_queries_per_update() {
+    fn streaming_session_consumes_submitted_epochs_and_matches_the_replay() {
         let (tree, group) = workload();
-        let base = MonitorConfig::new(Objective::Max, Method::tile_directed_buffered(0.8, 50))
-            .with_max_timestamps(200);
-        let stateless = run_monitoring(&tree, &group, &base);
-        let stateful = run_monitoring(&tree, &group, &base.with_persistent_buffers(true));
-        let stateless_q = stateless.stats.rtree_queries as f64 / stateless.updates as f64;
-        let stateful_q = stateful.stats.rtree_queries as f64 / stateful.updates as f64;
-        assert!(
-            stateful_q < stateless_q,
-            "persistent buffers must reduce index work per update ({stateful_q:.2} vs {stateless_q:.2})"
-        );
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(80);
+        let replay = run_monitoring(&tree, &group, &config);
+
+        // The same epochs, submitted as owned batches into a streaming session.
+        let mut feed = TrajectoryFeed::from_group(&group);
+        let mut session = GroupSession::streaming(group.len(), config);
+        assert_eq!(session.advance(&tree), StepOutcome::Starved, "no data yet");
+        let mut epochs = 0;
+        while let Some(batch) = feed.next_epoch() {
+            if epochs == 80 {
+                break;
+            }
+            session.submit(batch);
+            epochs += 1;
+        }
+        assert_eq!(session.pending_epochs(), 80);
+        while !session.is_finished() {
+            assert_ne!(session.advance(&tree), StepOutcome::Starved);
+        }
+        assert_eq!(session.metrics().timestamps, replay.timestamps);
+        assert_eq!(session.metrics().updates, replay.updates);
+        assert_eq!(session.metrics().traffic, replay.traffic);
+        assert_eq!(session.metrics().stats, replay.stats);
+    }
+
+    #[test]
+    fn open_horizon_sessions_never_finish_and_starve_without_data() {
+        let (tree, group) = workload();
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let mut session = GroupSession::streaming(group.len(), config);
+        assert_eq!(session.horizon(), None, "no cap means an open horizon");
+        assert_eq!(session.remaining_horizon(), None);
+        session.submit(group.iter().map(|t| t.at(0)).collect());
+        assert_eq!(session.advance(&tree), StepOutcome::Registered);
+        assert!(!session.is_finished(), "open-horizon sessions only leave by deregistration");
+        assert_eq!(session.advance(&tree), StepOutcome::Starved);
+        assert_eq!(session.metrics().timestamps, 0, "a starved epoch does not advance the clock");
+    }
+
+    #[test]
+    fn event_log_records_the_per_user_protocol_sends() {
+        let (tree, group) = workload();
+        let config = MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(120);
+        let mut session =
+            GroupSession::replay(TrajectoryFeed::from_group(&group), config).with_events(true);
+        assert_eq!(session.advance(&tree), StepOutcome::Registered);
+        let events = session.take_events();
+        assert_eq!(events.len(), group.len(), "registration assigns every user a region");
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, SessionEvent::Assigned { region, .. } if !region.is_empty())));
+
+        // Find an epoch that updates: it must probe the non-violators and re-assign everyone.
+        while !session.is_finished() {
+            if let StepOutcome::Updated { violators } = session.advance(&tree) {
+                let events = session.take_events();
+                let probes =
+                    events.iter().filter(|e| matches!(e, SessionEvent::Probed { .. })).count();
+                let assigned =
+                    events.iter().filter(|e| matches!(e, SessionEvent::Assigned { .. })).count();
+                assert_eq!(probes, group.len() - violators);
+                assert_eq!(assigned, group.len());
+                return;
+            }
+            assert!(session.take_events().is_empty(), "quiet epochs emit nothing");
+        }
+        panic!("the workload never produced an update");
+    }
+
+    #[test]
+    #[should_panic(expected = "one position per user")]
+    fn submit_rejects_wrong_batch_sizes() {
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let mut session = GroupSession::streaming(3, config);
+        session.submit(vec![Point::ORIGIN]);
     }
 }

@@ -1,0 +1,314 @@
+//! The protocol front-end: an `mpn-proto` request queue drained into sharded engine ticks.
+//!
+//! [`MonitoringServer`] is the piece that turns the owned-session [`MonitoringEngine`] into
+//! the server of Fig. 3: clients talk [`Request`] / [`Response`] (in-process as decoded
+//! values, or over any byte stream via the `mpn-proto` codec — see
+//! `examples/network_monitoring.rs` for both), the server queues the requests and applies
+//! them in arrival order at the next [`process`](MonitoringServer::process) call:
+//!
+//! * [`Request::Register`] → a streaming [`GroupSession`](crate::GroupSession) with its
+//!   event log enabled, placed horizon-aware on the least-loaded shard; answered with a
+//!   `Registered` notification carrying the assigned group id;
+//! * [`Request::Report`] → an [`EpochUpdate`] submitted into the group's inbox (invalid
+//!   reports are answered with `UnknownGroup` / `BadRequest` notifications instead of
+//!   touching any session);
+//! * [`Request::Deregister`] → session teardown with metrics retained for fleet accounting.
+//!
+//! Each `process` call then runs **one** sharded engine tick — every group that received an
+//! epoch advances in parallel — and converts the sessions' recorded
+//! [`SessionEvent`](crate::SessionEvent)s into downlink responses: `ProbeRequest`s for the
+//! step-2 probes and `SafeRegion`s for the step-3 assignments.  The caller owns the cadence:
+//! a real deployment calls `process` on its epoch clock, a test calls it after enqueueing
+//! whatever it wants applied.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use mpn_index::RTree;
+use mpn_proto::{NotificationKind, Request, Response, WireConfig, WireGroupId};
+
+use crate::engine::{EpochUpdate, GroupId, MonitoringEngine, SubmitError, TickSummary};
+use crate::monitor::{GroupSession, MonitorConfig, SessionEvent};
+
+/// Resolves a client-chosen [`WireConfig`] to the server-side monitoring configuration
+/// (server defaults fill everything the wire does not carry, e.g. the heading smoothing).
+#[must_use]
+pub fn monitor_config(wire: &WireConfig) -> MonitorConfig {
+    let mut config = MonitorConfig::new(wire.objective.into(), wire.method.to_method())
+        .with_persistent_buffers(wire.persist_buffers);
+    config.compress_regions = wire.compress_regions;
+    if let Some(cap) = wire.max_timestamps {
+        config = config.with_max_timestamps(cap as usize);
+    }
+    config
+}
+
+/// A monitoring server speaking the `mpn-proto` protocol over a request queue.
+#[derive(Debug)]
+pub struct MonitoringServer {
+    engine: MonitoringEngine,
+    queue: VecDeque<Request>,
+    last_summary: Option<TickSummary>,
+}
+
+impl MonitoringServer {
+    /// Creates a server over the POI tree with `num_shards` engine shards.
+    ///
+    /// # Panics
+    /// Panics when the POI tree is empty.
+    #[must_use]
+    pub fn new(tree: impl Into<Arc<RTree>>, num_shards: usize) -> Self {
+        Self {
+            engine: MonitoringEngine::new(tree, num_shards),
+            queue: VecDeque::new(),
+            last_summary: None,
+        }
+    }
+
+    /// The underlying engine, for telemetry (fleet metrics, shard loads, per-group state).
+    #[must_use]
+    pub fn engine(&self) -> &MonitoringEngine {
+        &self.engine
+    }
+
+    /// The summary of the most recent [`process`](MonitoringServer::process) tick.
+    #[must_use]
+    pub fn last_summary(&self) -> Option<TickSummary> {
+        self.last_summary
+    }
+
+    /// Queues one request for the next [`process`](MonitoringServer::process) call.
+    pub fn enqueue(&mut self, request: Request) {
+        self.queue.push_back(request);
+    }
+
+    /// Number of requests waiting to be applied.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Applies every queued request in arrival order, runs one sharded engine tick, and
+    /// returns the downlink responses: control notifications first (one per applied request
+    /// that warrants one, in request order), then the tick's per-user protocol sends.
+    pub fn process(&mut self) -> Vec<Response> {
+        let mut responses = Vec::new();
+        while let Some(request) = self.queue.pop_front() {
+            self.apply(request, &mut responses);
+        }
+        self.last_summary = Some(self.engine.tick());
+        for (group, event) in self.engine.drain_events() {
+            responses.push(match event {
+                SessionEvent::Probed { user } => Response::ProbeRequest {
+                    group: wire_id(group),
+                    user: u32::try_from(user).expect("group sizes fit u32"),
+                },
+                SessionEvent::Assigned { user, meeting_point, region } => Response::SafeRegion {
+                    group: wire_id(group),
+                    user: u32::try_from(user).expect("group sizes fit u32"),
+                    meeting_point,
+                    region,
+                },
+            });
+        }
+        responses
+    }
+
+    fn apply(&mut self, request: Request, responses: &mut Vec<Response>) {
+        match request {
+            Request::Register { group_size, config } => {
+                let Ok(group_size) = usize::try_from(group_size) else {
+                    responses.push(notification(u64::MAX, NotificationKind::BadRequest));
+                    return;
+                };
+                if group_size == 0 {
+                    responses.push(notification(u64::MAX, NotificationKind::BadRequest));
+                    return;
+                }
+                let session =
+                    GroupSession::streaming(group_size, monitor_config(&config)).with_events(true);
+                let id = self.engine.register_session(session);
+                responses.push(notification(wire_id(id), NotificationKind::Registered));
+            }
+            Request::Report { group, positions } => {
+                let Some(group_id) = engine_id(group) else {
+                    responses.push(notification(group, NotificationKind::UnknownGroup));
+                    return;
+                };
+                match self.engine.submit(EpochUpdate { group_id, positions }) {
+                    Ok(()) => {}
+                    Err(SubmitError::UnknownGroup(_)) => {
+                        responses.push(notification(group, NotificationKind::UnknownGroup));
+                    }
+                    Err(SubmitError::WrongGroupSize { .. } | SubmitError::Finished(_)) => {
+                        responses.push(notification(group, NotificationKind::BadRequest));
+                    }
+                }
+            }
+            Request::Deregister { group } => {
+                let departed = engine_id(group).and_then(|id| self.engine.deregister(id));
+                let kind = match departed {
+                    Some(_) => NotificationKind::Deregistered,
+                    None => NotificationKind::UnknownGroup,
+                };
+                responses.push(notification(group, kind));
+            }
+        }
+    }
+}
+
+fn notification(group: WireGroupId, kind: NotificationKind) -> Response {
+    Response::Notification { group, kind }
+}
+
+fn wire_id(id: GroupId) -> WireGroupId {
+    id as WireGroupId
+}
+
+fn engine_id(id: WireGroupId) -> Option<GroupId> {
+    usize::try_from(id).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpn_geom::Point;
+    use mpn_mobility::poi::{clustered_pois, PoiConfig};
+    use mpn_mobility::waypoint::{random_waypoint, WaypointConfig};
+    use mpn_mobility::Trajectory;
+    use mpn_proto::{WireMethod, WireObjective};
+
+    fn world() -> (Arc<RTree>, Vec<Trajectory>) {
+        let pois =
+            clustered_pois(&PoiConfig { count: 500, domain: 1000.0, ..PoiConfig::default() }, 19);
+        let tree = Arc::new(RTree::bulk_load(&pois));
+        let config = WaypointConfig { domain: 1000.0, speed_limit: 6.0, timestamps: 100 };
+        let group: Vec<Trajectory> = (0..3).map(|i| random_waypoint(&config, 70 + i)).collect();
+        (tree, group)
+    }
+
+    fn positions_at(group: &[Trajectory], t: usize) -> Vec<Point> {
+        group.iter().map(|traj| traj.at(t)).collect()
+    }
+
+    fn registered_id(responses: &[Response]) -> WireGroupId {
+        responses
+            .iter()
+            .find_map(|r| match r {
+                Response::Notification { group, kind: NotificationKind::Registered } => {
+                    Some(*group)
+                }
+                _ => None,
+            })
+            .expect("a Registered notification")
+    }
+
+    #[test]
+    fn register_report_notify_round_trip() {
+        let (tree, group) = world();
+        let mut server = MonitoringServer::new(Arc::clone(&tree), 2);
+        server.enqueue(Request::Register {
+            group_size: group.len() as u32,
+            config: WireConfig::default(),
+        });
+        let responses = server.process();
+        let id = registered_id(&responses);
+        assert_eq!(responses.len(), 1, "no reports yet: registration ack only");
+
+        // The first report registers the query: every user gets a safe region.
+        server.enqueue(Request::Report { group: id, positions: positions_at(&group, 0) });
+        let responses = server.process();
+        let assigned: Vec<_> =
+            responses.iter().filter(|r| matches!(r, Response::SafeRegion { .. })).collect();
+        assert_eq!(assigned.len(), group.len());
+        assert!(responses.iter().all(|r| !matches!(
+            r,
+            Response::Notification { kind: NotificationKind::UnknownGroup, .. }
+        )));
+
+        // Stream the remaining epochs; every update must re-assign the whole group and
+        // probe exactly the non-violators.
+        let mut updates = 0;
+        for t in 1..60 {
+            server.enqueue(Request::Report { group: id, positions: positions_at(&group, t) });
+            let responses = server.process();
+            let probes =
+                responses.iter().filter(|r| matches!(r, Response::ProbeRequest { .. })).count();
+            let assigned =
+                responses.iter().filter(|r| matches!(r, Response::SafeRegion { .. })).count();
+            if assigned > 0 {
+                updates += 1;
+                assert_eq!(assigned, group.len());
+                assert!(probes < group.len(), "at least one violator reported on her own");
+            } else {
+                assert_eq!(probes, 0, "quiet epochs send nothing");
+            }
+        }
+        assert!(updates >= 1, "60 epochs of movement must trigger an update");
+        let metrics = server.engine().group_metrics(0);
+        assert_eq!(metrics.updates, updates + 1, "wire updates match the engine's accounting");
+        assert_eq!(metrics.timestamps, 59);
+
+        server.enqueue(Request::Deregister { group: id });
+        let responses = server.process();
+        assert!(responses
+            .contains(&Response::Notification { group: id, kind: NotificationKind::Deregistered }));
+        assert_eq!(server.engine().group_count(), 0);
+        assert_eq!(server.engine().retired_count(), 1);
+    }
+
+    #[test]
+    fn invalid_requests_get_error_notifications_not_crashes() {
+        let (tree, group) = world();
+        let mut server = MonitoringServer::new(Arc::clone(&tree), 2);
+
+        server.enqueue(Request::Register { group_size: 0, config: WireConfig::default() });
+        server.enqueue(Request::Report { group: 17, positions: positions_at(&group, 0) });
+        server.enqueue(Request::Deregister { group: 17 });
+        let responses = server.process();
+        assert_eq!(
+            responses,
+            vec![
+                notification(u64::MAX, NotificationKind::BadRequest),
+                notification(17, NotificationKind::UnknownGroup),
+                notification(17, NotificationKind::UnknownGroup),
+            ]
+        );
+        assert_eq!(server.engine().group_count(), 0, "nothing was registered");
+
+        // A wrong-size batch is rejected without touching the session.
+        server.enqueue(Request::Register { group_size: 3, config: WireConfig::default() });
+        let id = registered_id(&server.process());
+        server.enqueue(Request::Report { group: id, positions: vec![Point::ORIGIN] });
+        let responses = server.process();
+        assert!(responses.contains(&notification(id, NotificationKind::BadRequest)));
+        assert_eq!(server.engine().group_metrics(0).updates, 0);
+        assert_eq!(server.last_summary().expect("processed").starved, 1);
+    }
+
+    #[test]
+    fn server_sessions_match_the_replay_counters() {
+        let (tree, group) = world();
+        let wire = WireConfig {
+            objective: WireObjective::Max,
+            method: WireMethod::Tile,
+            compress_regions: true,
+            persist_buffers: false,
+            max_timestamps: Some(50),
+        };
+        let replay = crate::monitor::run_monitoring(&tree, &group, &monitor_config(&wire));
+
+        let mut server = MonitoringServer::new(Arc::clone(&tree), 4);
+        server.enqueue(Request::Register { group_size: group.len() as u32, config: wire });
+        let id = registered_id(&server.process());
+        for t in 0..50 {
+            server.enqueue(Request::Report { group: id, positions: positions_at(&group, t) });
+            server.process();
+        }
+        let metrics = server.engine().group_metrics(engine_id(id).unwrap());
+        assert_eq!(metrics.updates, replay.updates);
+        assert_eq!(metrics.timestamps, replay.timestamps);
+        assert_eq!(metrics.traffic, replay.traffic);
+        assert_eq!(metrics.stats, replay.stats);
+    }
+}

@@ -12,7 +12,8 @@ use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{MonitorConfig, MonitoringEngine};
+use mpn::sim::{MonitorConfig, MonitoringEngine, TrajectoryFeed};
+use std::sync::Arc;
 
 fn main() {
     // The restaurant data set: 2,000 POIs clustered around a few neighbourhoods.
@@ -29,7 +30,8 @@ fn main() {
         timestamps: 1_500,
         ..TaxiConfig::default()
     };
-    let group: Vec<Trajectory> = (0..3).map(|i| taxi_trajectory(&taxi, 90 + i)).collect();
+    let group: Arc<Vec<Trajectory>> =
+        Arc::new((0..3).map(|i| taxi_trajectory(&taxi, 90 + i)).collect());
 
     println!("== Event calendar: continuous restaurant recommendation ==\n");
     println!("restaurants: {}   users: {}   timestamps: {}\n", tree.len(), group.len(), 1_500);
@@ -37,7 +39,7 @@ fn main() {
     // One monitoring engine, one session per safe-region method over the same trajectories.
     // A single shard keeps the sessions serial: this table compares per-update CPU times
     // across methods, which must not be measured under cross-session core contention.
-    let mut engine = MonitoringEngine::new(&tree, 1);
+    let mut engine = MonitoringEngine::new(tree, 1);
     let methods = [
         ("Circle", Method::circle()),
         ("Tile", Method::tile()),
@@ -46,7 +48,12 @@ fn main() {
     ];
     let ids: Vec<_> = methods
         .iter()
-        .map(|(_, method)| engine.register(&group, MonitorConfig::new(Objective::Max, *method)))
+        .map(|(_, method)| {
+            engine.register(
+                TrajectoryFeed::new(Arc::clone(&group)),
+                MonitorConfig::new(Objective::Max, *method),
+            )
+        })
         .collect();
     engine.run_to_completion();
 

@@ -10,12 +10,14 @@
 //!
 //! Run with: `cargo run --release --example fleet_monitoring`
 
+use std::sync::Arc;
+
 use mpn::core::{Method, Objective};
 use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{MonitorConfig, MonitoringEngine};
+use mpn::sim::{MonitorConfig, MonitoringEngine, TrajectoryFeed};
 
 /// Groups that leave the fleet mid-run and rejoin later.
 const CHURNERS: std::ops::Range<usize> = 0..4;
@@ -39,12 +41,12 @@ fn main() {
         Method::tile_directed_buffered(theta, 100),
     ];
 
-    // Generate the whole fleet first: the engine borrows trajectories instead of copying
-    // them, so they must outlive it.
-    let fleet: Vec<Vec<Trajectory>> = (0..24u64)
+    // Generate the whole fleet first.  Each group's recording sits behind an `Arc`, so the
+    // initial registration and the later rejoin replay the same data without copying it.
+    let fleet: Vec<Arc<Vec<Trajectory>>> = (0..24u64)
         .map(|g| {
             let size = 3 + (g % 3) as usize;
-            (0..size).map(|i| taxi_trajectory(&taxi, g * 100 + i as u64)).collect()
+            Arc::new((0..size).map(|i| taxi_trajectory(&taxi, g * 100 + i as u64)).collect())
         })
         .collect();
 
@@ -56,9 +58,9 @@ fn main() {
             .with_persistent_buffers(matches!(method, Method::Tile(c) if c.buffering.is_some()))
     };
 
-    let mut engine = MonitoringEngine::new(&tree, 8);
+    let mut engine = MonitoringEngine::new(tree, 8);
     for (g, group) in fleet.iter().enumerate() {
-        engine.register(group, config_for(g));
+        engine.register(TrajectoryFeed::new(Arc::clone(group)), config_for(g));
     }
 
     println!(
@@ -90,7 +92,7 @@ fn main() {
         }
         if summary.tick == 450 {
             for id in CHURNERS {
-                engine.rejoin(id, &fleet[id], config_for(id));
+                engine.rejoin(id, TrajectoryFeed::new(Arc::clone(&fleet[id])), config_for(id));
             }
             println!(
                 "tick  450: groups {CHURNERS:?} rejoined under their old ids ({} registered)",
@@ -132,11 +134,11 @@ fn main() {
         fleet.compute_time_percentile(95.0).as_secs_f64() * 1e6
     );
 
-    println!("\nshard   occupancy   live   idle_ticks");
+    println!("\nshard   occupancy   live   idle_ticks   remaining_work");
     for load in engine.shard_loads() {
         println!(
-            "{:<7} {:>9} {:>6} {:>12}",
-            load.shard, load.occupancy, load.live, load.idle_ticks
+            "{:<7} {:>9} {:>6} {:>12} {:>16}",
+            load.shard, load.occupancy, load.live, load.idle_ticks, load.weight
         );
     }
 }

@@ -12,7 +12,8 @@ use mpn::index::RTree;
 use mpn::mobility::network::{NetworkConfig, RoadNetwork};
 use mpn::mobility::poi::uniform_pois;
 use mpn::mobility::Trajectory;
-use mpn::sim::{MonitorConfig, MonitoringEngine};
+use mpn::sim::{MonitorConfig, MonitoringEngine, TrajectoryFeed};
+use std::sync::Arc;
 
 fn main() {
     // Game spots scattered uniformly over the map.
@@ -23,7 +24,8 @@ fn main() {
     let net_config =
         NetworkConfig { domain: 8_000.0, timestamps: 1_200, ..NetworkConfig::default() };
     let network = RoadNetwork::generate(&net_config, 5);
-    let team: Vec<Trajectory> = (0..4).map(|i| network.trajectory(300 + i as u64, i)).collect();
+    let team: Arc<Vec<Trajectory>> =
+        Arc::new((0..4).map(|i| network.trajectory(300 + i as u64, i)).collect());
 
     println!("== Location-based game: team rendezvous ==\n");
     println!(
@@ -45,7 +47,7 @@ fn main() {
 
     // Continuous monitoring during the whole game: one engine session per method, and the
     // buffered method additionally reuses its §5.4 GNN buffer across updates.
-    let mut engine = MonitoringEngine::with_default_shards(&tree);
+    let mut engine = MonitoringEngine::with_default_shards(tree);
     let methods = [
         ("Circle", MonitorConfig::new(Objective::Max, Method::circle())),
         ("Tile-D", MonitorConfig::new(Objective::Max, Method::tile_directed(0.8))),
@@ -55,7 +57,10 @@ fn main() {
                 .with_persistent_buffers(true),
         ),
     ];
-    let ids: Vec<_> = methods.iter().map(|(_, config)| engine.register(&team, *config)).collect();
+    let ids: Vec<_> = methods
+        .iter()
+        .map(|(_, config)| engine.register(TrajectoryFeed::new(Arc::clone(&team)), *config))
+        .collect();
     engine.run_to_completion();
 
     println!(

@@ -1,0 +1,281 @@
+//! Network monitoring: the Fig. 3 client/server protocol, for real.
+//!
+//! Two demonstrations of the `mpn-proto` + `MonitoringServer` stack:
+//!
+//! 1. **In-process** — a front-end drains decoded `Request`s straight into sharded engine
+//!    ticks: two phone groups register with different objectives/methods, stream their
+//!    epochs, and receive probe requests and safe-region assignments back.
+//! 2. **Loopback TCP** — the same protocol over `std::net::TcpStream` using the compact
+//!    length-prefixed binary codec: a server thread accepts one client, decodes uplink
+//!    frames, ticks the engine, and writes the downlink frames back.  The client registers,
+//!    reports its epochs, and deregisters — the full register → report → notification round
+//!    trip on a real socket.
+//!
+//! Over the socket each uplink request is answered with a 4-byte little-endian response
+//! count followed by that many response frames — a minimal example-level envelope so the
+//! client knows when an epoch's downlink is complete (a quiet epoch legitimately produces
+//! zero responses).
+//!
+//! Run with: `cargo run --release --example network_monitoring`
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread;
+
+use mpn::index::RTree;
+use mpn::mobility::poi::{clustered_pois, PoiConfig};
+use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
+use mpn::mobility::Trajectory;
+use mpn::proto::{
+    read_frame, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
+};
+use mpn::sim::{MonitoringServer, TrajectoryFeed};
+
+/// Epochs each client streams before deregistering.
+const EPOCHS: usize = 150;
+
+fn main() {
+    let pois = clustered_pois(
+        &PoiConfig { count: 1_500, domain: 4_000.0, clusters: 6, ..PoiConfig::default() },
+        13,
+    );
+    let tree = Arc::new(RTree::bulk_load(&pois));
+
+    in_process_demo(Arc::clone(&tree));
+    tcp_demo(tree);
+}
+
+/// A moving group as a protocol client sees it: a recording it reports epoch by epoch.
+fn phone_group(seed: u64, size: usize) -> TrajectoryFeed {
+    let taxi = TaxiConfig {
+        domain: 4_000.0,
+        speed_limit: 9.0,
+        timestamps: EPOCHS,
+        ..TaxiConfig::default()
+    };
+    let group: Vec<Trajectory> =
+        (0..size).map(|i| taxi_trajectory(&taxi, seed + i as u64)).collect();
+    TrajectoryFeed::new(group)
+}
+
+fn registered_id(responses: &[Response]) -> u64 {
+    responses
+        .iter()
+        .find_map(|r| match r {
+            Response::Notification { group, kind: NotificationKind::Registered } => Some(*group),
+            _ => None,
+        })
+        .expect("the server acknowledges a registration")
+}
+
+/// Tally of the downlink messages one client received.
+#[derive(Default)]
+struct Downlink {
+    probes: usize,
+    assignments: usize,
+    epochs_with_update: usize,
+}
+
+impl Downlink {
+    fn absorb(&mut self, responses: &[Response]) {
+        let before = self.assignments;
+        for response in responses {
+            match response {
+                Response::ProbeRequest { .. } => self.probes += 1,
+                Response::SafeRegion { .. } => self.assignments += 1,
+                Response::Notification { .. } => {}
+            }
+        }
+        if self.assignments > before {
+            self.epochs_with_update += 1;
+        }
+    }
+}
+
+fn in_process_demo(tree: Arc<RTree>) {
+    println!("== In-process: a request queue drained into sharded engine ticks ==\n");
+    let mut server = MonitoringServer::new(tree, 4);
+
+    let configs = [
+        (
+            "friends/MAX/Tile-D-b",
+            WireConfig {
+                objective: WireObjective::Max,
+                method: WireMethod::TileDirectedBuffered {
+                    theta: std::f64::consts::FRAC_PI_4,
+                    buffer: 100,
+                },
+                compress_regions: true,
+                persist_buffers: true,
+                max_timestamps: None,
+            },
+        ),
+        (
+            "carpool/SUM/Circle",
+            WireConfig {
+                objective: WireObjective::Sum,
+                method: WireMethod::Circle,
+                compress_regions: true,
+                persist_buffers: false,
+                max_timestamps: None,
+            },
+        ),
+    ];
+
+    let mut feeds = [phone_group(1_000, 3), phone_group(2_000, 4)];
+    let mut ids = Vec::new();
+    for ((_, config), feed) in configs.iter().zip(&feeds) {
+        server.enqueue(Request::Register { group_size: feed.group_size() as u32, config: *config });
+    }
+    let responses = server.process();
+    for response in &responses {
+        if let Response::Notification { group, kind: NotificationKind::Registered } = response {
+            ids.push(*group);
+        }
+    }
+    println!("registered groups {ids:?} ({} shards)\n", server.engine().shard_count());
+
+    let mut tallies = [Downlink::default(), Downlink::default()];
+    for _ in 0..EPOCHS {
+        for (feed, &id) in feeds.iter_mut().zip(&ids) {
+            let positions = feed.next_epoch().expect("the recording covers every epoch");
+            server.enqueue(Request::Report { group: id, positions });
+        }
+        let responses = server.process();
+        for (tally, &id) in tallies.iter_mut().zip(&ids) {
+            let own: Vec<Response> = responses
+                .iter()
+                .filter(|r| {
+                    matches!(r,
+                    Response::SafeRegion { group, .. }
+                    | Response::ProbeRequest { group, .. }
+                    | Response::Notification { group, .. } if *group == id)
+                })
+                .cloned()
+                .collect();
+            tally.absorb(&own);
+        }
+    }
+
+    println!(
+        "{:<22} {:>8} {:>12} {:>12} {:>14}",
+        "group", "updates", "probes", "regions", "packets"
+    );
+    for ((label, _), (tally, &id)) in configs.iter().zip(tallies.iter().zip(&ids)) {
+        let metrics = server.engine().group_metrics(id as usize);
+        println!(
+            "{:<22} {:>8} {:>12} {:>12} {:>14}",
+            label,
+            tally.epochs_with_update,
+            tally.probes,
+            tally.assignments,
+            metrics.packets()
+        );
+        server.enqueue(Request::Deregister { group: id });
+    }
+    let farewells = server.process();
+    assert!(farewells
+        .iter()
+        .all(|r| matches!(r, Response::Notification { kind: NotificationKind::Deregistered, .. })));
+    println!(
+        "\nboth groups deregistered; fleet lifetime totals: {} updates, {} packets\n",
+        server.engine().fleet_metrics().updates,
+        server.engine().fleet_metrics().packets()
+    );
+}
+
+// ---------------------------------------------------------------------------------------
+// Loopback TCP
+// ---------------------------------------------------------------------------------------
+
+/// Serves one client connection: decode uplink frames, tick, write the downlink back.
+fn serve_connection(mut stream: TcpStream, tree: Arc<RTree>) -> std::io::Result<()> {
+    let mut server = MonitoringServer::new(tree, 4);
+    while let Some(frame) = read_frame(&mut stream)? {
+        let (request, _) = Request::decode(&frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        server.enqueue(request);
+        let responses = server.process();
+        stream.write_all(&u32::try_from(responses.len()).expect("batch fits u32").to_le_bytes())?;
+        for response in &responses {
+            stream.write_all(&response.encoded())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads one response batch (count header + frames) off the socket.
+fn recv_batch(stream: &mut TcpStream) -> std::io::Result<Vec<Response>> {
+    let mut count_bytes = [0u8; 4];
+    stream.read_exact(&mut count_bytes)?;
+    let count = u32::from_le_bytes(count_bytes) as usize;
+    let mut responses = Vec::with_capacity(count);
+    for _ in 0..count {
+        let frame = read_frame(stream)?.ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "stream closed mid-batch")
+        })?;
+        let (response, _) = Response::decode(&frame)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        responses.push(response);
+    }
+    Ok(responses)
+}
+
+fn tcp_demo(tree: Arc<RTree>) {
+    println!("== Loopback TCP: the same protocol over a real socket ==\n");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server_thread = thread::spawn(move || {
+        let (stream, peer) = listener.accept().expect("accept the demo client");
+        println!("server: accepted {peer}");
+        serve_connection(stream, tree).expect("serve the demo client");
+        println!("server: client disconnected, shutting down");
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
+    let mut feed = phone_group(3_000, 3);
+    let config = WireConfig {
+        objective: WireObjective::Max,
+        method: WireMethod::Tile,
+        compress_regions: true,
+        persist_buffers: false,
+        max_timestamps: None,
+    };
+
+    // Register → the server assigns a group id.
+    stream
+        .write_all(&Request::Register { group_size: feed.group_size() as u32, config }.encoded())
+        .expect("send register");
+    let responses = recv_batch(&mut stream).expect("registration ack");
+    let id = registered_id(&responses);
+    println!("client: registered as group {id} at {addr}");
+
+    // Report every epoch; collect the downlink.
+    let mut tally = Downlink::default();
+    let mut wire_bytes = 0usize;
+    for _ in 0..EPOCHS {
+        let positions = feed.next_epoch().expect("the recording covers every epoch");
+        let frame = Request::Report { group: id, positions }.encoded();
+        wire_bytes += frame.len();
+        stream.write_all(&frame).expect("send report");
+        tally.absorb(&recv_batch(&mut stream).expect("epoch downlink"));
+    }
+    assert!(tally.assignments > 0, "the round trip must deliver safe-region notifications");
+    println!(
+        "client: {} epochs streamed ({} uplink bytes): {} updates, {} probes, {} safe regions",
+        EPOCHS, wire_bytes, tally.epochs_with_update, tally.probes, tally.assignments
+    );
+
+    // Deregister and disconnect; the server thread exits on EOF.
+    stream.write_all(&Request::Deregister { group: id }.encoded()).expect("send deregister");
+    let farewell = recv_batch(&mut stream).expect("deregistration ack");
+    assert!(
+        farewell
+            .contains(&Response::Notification { group: id, kind: NotificationKind::Deregistered }),
+        "the server must acknowledge the deregistration"
+    );
+    println!("client: deregistered cleanly");
+    drop(stream);
+    server_thread.join().expect("server thread exits cleanly");
+}

@@ -12,7 +12,8 @@ use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{MonitorConfig, MonitoringEngine};
+use mpn::sim::{MonitorConfig, MonitoringEngine, TrajectoryFeed};
+use std::sync::Arc;
 
 fn main() {
     // Park-and-ride lots around the city.
@@ -56,8 +57,10 @@ fn main() {
         timestamps: 1_000,
         ..TaxiConfig::default()
     };
-    let group: Vec<Trajectory> = (0..4).map(|i| taxi_trajectory(&taxi, 710 + i)).collect();
-    let mut engine = MonitoringEngine::with_default_shards(&tree);
+    // One shared recording, replayed by three sessions (feeds share it via `Arc`).
+    let group: Arc<Vec<Trajectory>> =
+        Arc::new((0..4).map(|i| taxi_trajectory(&taxi, 710 + i)).collect());
+    let mut engine = MonitoringEngine::with_default_shards(tree);
     let methods = [
         ("Circle", Method::circle()),
         ("Tile", Method::tile()),
@@ -65,7 +68,12 @@ fn main() {
     ];
     let ids: Vec<_> = methods
         .iter()
-        .map(|(_, method)| engine.register(&group, MonitorConfig::new(Objective::Sum, *method)))
+        .map(|(_, method)| {
+            engine.register(
+                TrajectoryFeed::new(Arc::clone(&group)),
+                MonitorConfig::new(Objective::Sum, *method),
+            )
+        })
         .collect();
     engine.run_to_completion();
 

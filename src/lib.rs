@@ -15,7 +15,9 @@
 //! * [`index`] — an R-tree over the POI set and group nearest-neighbour (GNN) search.
 //! * [`core`] — the safe-region algorithms (circular and tile-based, MAX and SUM objectives).
 //! * [`mobility`] — trajectory and POI workload generators.
-//! * [`sim`] — the client–server monitoring simulation with message/packet accounting.
+//! * [`proto`] — the wire-shaped client/server protocol (requests, responses, binary codec).
+//! * [`sim`] — owned, message-driven monitoring sessions, the sharded engine, the
+//!   `MonitoringServer` protocol front-end and message/packet accounting.
 //!
 //! ## Quickstart
 //!
@@ -43,4 +45,5 @@ pub use mpn_core as core;
 pub use mpn_geom as geom;
 pub use mpn_index as index;
 pub use mpn_mobility as mobility;
+pub use mpn_proto as proto;
 pub use mpn_sim as sim;

@@ -7,6 +7,8 @@
 //! Uses the offline `proptest` shim: cases are deterministic (seeded from the test name), so
 //! a failing case index reproduces exactly.
 
+use std::sync::Arc;
+
 use mpn::core::{ComputeStats, Method, Objective};
 use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
@@ -14,6 +16,7 @@ use mpn::mobility::waypoint::{random_waypoint, WaypointConfig};
 use mpn::mobility::Trajectory;
 use mpn::sim::{
     GroupId, GroupSession, MonitorConfig, MonitoringEngine, MonitoringMetrics, Traffic,
+    TrajectoryFeed,
 };
 use proptest::collection::vec as prop_vec;
 use proptest::prelude::*;
@@ -23,14 +26,18 @@ const GROUPS: usize = 16;
 /// Horizon of every session (registration + 11 monitored timestamps).
 const HORIZON: usize = 12;
 
-fn world() -> (RTree, Vec<Vec<Trajectory>>) {
+fn world() -> (Arc<RTree>, Vec<Vec<Trajectory>>) {
     let pois = clustered_pois(&PoiConfig { count: 150, domain: 500.0, ..PoiConfig::default() }, 71);
-    let tree = RTree::bulk_load(&pois);
+    let tree = Arc::new(RTree::bulk_load(&pois));
     let config = WaypointConfig { domain: 500.0, speed_limit: 7.0, timestamps: HORIZON };
     let fleet = (0..GROUPS)
         .map(|g| (0..2).map(|i| random_waypoint(&config, (g * 31 + i) as u64)).collect())
         .collect();
     (tree, fleet)
+}
+
+fn feed(group: &[Trajectory]) -> TrajectoryFeed {
+    TrajectoryFeed::from_group(group)
 }
 
 fn config() -> MonitorConfig {
@@ -71,7 +78,7 @@ proptest! {
         ops in prop_vec((0usize..4, 0usize..GROUPS), 4..48),
     ) {
         let (tree, fleet) = world();
-        let mut engine = MonitoringEngine::new(&tree, 3);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 3);
 
         // Model state: which epoch (if any) each group is currently registered under, the
         // engine id it got, and the set of ids the model expects to be free.
@@ -92,7 +99,7 @@ proptest! {
                 }
                 2 => {
                     if active[g].is_none() {
-                        let id = engine.register(&fleet[g], config());
+                        let id = engine.register(feed(&fleet[g]), config());
                         // Pin the free-list: a freed id must be reused before a fresh one
                         // is allocated.
                         if let Some(pos) = freed.iter().position(|&f| f == id) {
@@ -129,7 +136,7 @@ proptest! {
 
         // Every epoch must match its group replayed solo for the same number of advances.
         for (i, epoch) in epochs.iter().enumerate() {
-            let mut solo = GroupSession::new(&fleet[epoch.gidx], config());
+            let mut solo = GroupSession::replay(feed(&fleet[epoch.gidx]), config());
             for _ in 0..epoch.advances {
                 let _ = solo.advance(&tree);
             }
@@ -150,8 +157,11 @@ proptest! {
     fn registration_always_lands_on_a_least_loaded_shard(
         ops in prop_vec((0usize..2, 0usize..GROUPS), 4..64),
     ) {
+        // With uniform horizons and no ticking, every session weighs the same, so the
+        // horizon-aware placement degenerates to the historical occupancy rule — this is
+        // the least-loaded pin the weighted test below generalises.
         let (tree, fleet) = world();
-        let mut engine = MonitoringEngine::new(&tree, 5);
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 5);
         let mut active: Vec<Option<GroupId>> = vec![None; GROUPS];
 
         for (kind, g) in ops {
@@ -160,7 +170,7 @@ proptest! {
                     let before: Vec<usize> =
                         engine.shard_loads().iter().map(|l| l.occupancy).collect();
                     let min = *before.iter().min().expect("at least one shard");
-                    active[g] = Some(engine.register(&fleet[g], config()));
+                    active[g] = Some(engine.register(feed(&fleet[g]), config()));
                     let after: Vec<usize> =
                         engine.shard_loads().iter().map(|l| l.occupancy).collect();
                     let grown: Vec<usize> = (0..before.len())
@@ -177,6 +187,66 @@ proptest! {
             } else if let Some(id) = active[g].take() {
                 prop_assert!(engine.deregister(id).is_some());
             }
+        }
+    }
+
+    #[test]
+    fn registration_always_lands_on_a_least_weighted_shard(
+        ops in prop_vec((0usize..4, 0usize..GROUPS, 2usize..HORIZON), 4..48),
+    ) {
+        // Heterogeneous horizons, ticking interleaved with churn: placement must pick a
+        // shard minimising the remaining-horizon *weight*, and the reported per-shard
+        // weights must track the sessions' actual remaining epochs.
+        let (tree, fleet) = world();
+        let mut engine = MonitoringEngine::new(Arc::clone(&tree), 4);
+        let mut active: Vec<Option<GroupId>> = vec![None; GROUPS];
+
+        for (kind, g, horizon) in ops {
+            match kind {
+                0 | 1 => {
+                    engine.tick();
+                }
+                2 => {
+                    if active[g].is_none() {
+                        let before: Vec<usize> =
+                            engine.shard_loads().iter().map(|l| l.weight).collect();
+                        let min = *before.iter().min().expect("at least one shard");
+                        let config = MonitorConfig::new(Objective::Max, Method::circle())
+                            .with_max_timestamps(horizon);
+                        active[g] = Some(engine.register(feed(&fleet[g]), config));
+                        let after: Vec<usize> =
+                            engine.shard_loads().iter().map(|l| l.weight).collect();
+                        let grown: Vec<usize> =
+                            (0..before.len()).filter(|&s| after[s] != before[s]).collect();
+                        prop_assert_eq!(grown.len(), 1, "a registration fills exactly one shard");
+                        prop_assert_eq!(
+                            before[grown[0]],
+                            min,
+                            "placement must pick a least-weighted shard (weights {:?})",
+                            before
+                        );
+                        prop_assert_eq!(
+                            after[grown[0]],
+                            min + horizon,
+                            "a fresh session weighs its whole horizon"
+                        );
+                    }
+                }
+                _ => {
+                    if let Some(id) = active[g].take() {
+                        prop_assert!(engine.deregister(id).is_some());
+                    }
+                }
+            }
+            let loads = engine.shard_loads();
+            prop_assert!(
+                loads.iter().all(|l| l.weight <= l.occupancy * HORIZON),
+                "weights are bounded by occupancy x the longest horizon"
+            );
+            prop_assert!(
+                loads.iter().filter(|l| l.live == 0).all(|l| l.weight == 0),
+                "shards with no live session have no remaining work"
+            );
         }
     }
 }

@@ -4,11 +4,16 @@
 //! measures: this file replays the *legacy* stateless monitoring loop (the exact algorithm of
 //! the original `run_monitoring`, re-implemented here as the baseline) and asserts that
 //!
-//! * the compatibility wrapper reproduces its updates, packets and work counters exactly,
+//! * the compatibility wrapper — now an owned [`mpn::sim::TrajectoryFeed`] replay session —
+//!   reproduces its updates, packets and work counters exactly,
 //! * a parallel multi-group tick equals the serial single-group replays,
+//! * the message-driven streaming path (`register_stream` + `EpochUpdate` submission)
+//!   produces the same counters as the feed replay, epoch for epoch,
 //! * the persistent worker-pool executor produces the same fleet `TickSummary` sequence as
 //!   the legacy scoped-thread executor (pinning the executor swap),
 //! * persistent §5.4 buffers strictly reduce R-tree queries per update for `Tile-D-b`.
+
+use std::sync::Arc;
 
 use mpn::core::{Method, MpnServer, Objective};
 use mpn::geom::{HeadingPredictor, Point};
@@ -17,13 +22,14 @@ use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
 use mpn::sim::{
-    run_monitoring, Message, MonitorConfig, MonitoringEngine, TickExecutor, TickSummary, Traffic,
+    run_monitoring, EpochUpdate, Message, MonitorConfig, MonitoringEngine, TickExecutor,
+    TickSummary, Traffic, TrajectoryFeed,
 };
 
-fn world(groups: usize, seed: u64) -> (RTree, Vec<Vec<Trajectory>>) {
+fn world(groups: usize, seed: u64) -> (Arc<RTree>, Vec<Vec<Trajectory>>) {
     let pois =
         clustered_pois(&PoiConfig { count: 900, domain: 2_000.0, ..PoiConfig::default() }, seed);
-    let tree = RTree::bulk_load(&pois);
+    let tree = Arc::new(RTree::bulk_load(&pois));
     let taxi =
         TaxiConfig { domain: 2_000.0, speed_limit: 8.0, timestamps: 220, ..TaxiConfig::default() };
     let fleet = (0..groups)
@@ -145,10 +151,41 @@ fn engine_path_matches_the_wrapper_for_a_single_group() {
         MonitorConfig::new(Objective::Max, Method::tile_directed(0.8)).with_max_timestamps(120);
     let wrapper = run_monitoring(&tree, &fleet[0], &config);
 
-    let mut engine = MonitoringEngine::new(&tree, 4);
-    let id = engine.register(&fleet[0], config);
+    let mut engine = MonitoringEngine::new(Arc::clone(&tree), 4);
+    let id = engine.register(TrajectoryFeed::from_group(&fleet[0]), config);
     engine.run_to_completion();
     assert_eq!(counters_of(&wrapper), counters_of(engine.group_metrics(id)));
+}
+
+#[test]
+fn streaming_submission_matches_the_feed_replay_epoch_for_epoch() {
+    // The message-driven path — owned `EpochUpdate` batches submitted into a streaming
+    // session — must be protocol-equivalent to the `TrajectoryFeed` replay of the same
+    // recording: identical counters after every tick, for the legacy baseline too.
+    let (tree, fleet) = world(1, 77);
+    let group = &fleet[0];
+    let config = MonitorConfig::new(Objective::Max, Method::tile()).with_max_timestamps(120);
+    let legacy = legacy_run_monitoring(&tree, group, &config);
+
+    let mut replay = MonitoringEngine::new(Arc::clone(&tree), 2);
+    let replay_id = replay.register(TrajectoryFeed::from_group(group), config);
+    let mut stream = MonitoringEngine::new(Arc::clone(&tree), 2);
+    let stream_id = stream.register_stream(group.len(), config);
+
+    let mut source = TrajectoryFeed::from_group(group);
+    for _ in 0..120 {
+        let positions = source.next_epoch().expect("the recording covers the horizon");
+        stream.submit(EpochUpdate { group_id: stream_id, positions }).expect("live group");
+        let fed = replay.tick();
+        let submitted = stream.tick();
+        assert_eq!(fed, submitted, "feed and stream must produce identical tick summaries");
+        assert_eq!(
+            counters_of(replay.group_metrics(replay_id)),
+            counters_of(stream.group_metrics(stream_id)),
+        );
+    }
+    assert!(replay.is_finished() && stream.is_finished());
+    assert_eq!(legacy, counters_of(stream.group_metrics(stream_id)));
 }
 
 #[test]
@@ -159,9 +196,10 @@ fn parallel_eight_group_tick_matches_eight_serial_runs() {
     let serial: Vec<Counters> =
         fleet.iter().map(|g| counters_of(&run_monitoring(&tree, g, &config))).collect();
 
-    let mut engine = MonitoringEngine::new(&tree, 8);
+    let mut engine = MonitoringEngine::new(Arc::clone(&tree), 8);
     assert_eq!(engine.shard_count(), 8);
-    let ids: Vec<_> = fleet.iter().map(|g| engine.register(g, config)).collect();
+    let ids: Vec<_> =
+        fleet.iter().map(|g| engine.register(TrajectoryFeed::from_group(g), config)).collect();
     assert!(engine.group_count() >= 8, "the fleet must exercise at least 8 concurrent groups");
 
     // Drive the fleet tick by tick (each tick advances all 8 groups on 8 shard threads).
@@ -191,13 +229,14 @@ fn pool_executor_matches_the_scoped_thread_executor_tick_for_tick() {
     let (tree, fleet) = world(8, 57);
     let config = MonitorConfig::new(Objective::Max, Method::tile()).with_max_timestamps(100);
 
-    let mut pool = MonitoringEngine::with_executor(&tree, 4, TickExecutor::WorkerPool);
-    let mut scoped = MonitoringEngine::with_executor(&tree, 4, TickExecutor::ScopedThreads);
+    let mut pool = MonitoringEngine::with_executor(Arc::clone(&tree), 4, TickExecutor::WorkerPool);
+    let mut scoped =
+        MonitoringEngine::with_executor(Arc::clone(&tree), 4, TickExecutor::ScopedThreads);
     assert_eq!(pool.executor(), TickExecutor::WorkerPool);
     assert_eq!(scoped.executor(), TickExecutor::ScopedThreads);
     for group in &fleet {
-        pool.register(group, config);
-        scoped.register(group, config);
+        pool.register(TrajectoryFeed::from_group(group), config);
+        scoped.register(TrajectoryFeed::from_group(group), config);
     }
 
     let mut pool_summaries: Vec<TickSummary> = Vec::new();

@@ -1,0 +1,97 @@
+//! Pins the `mpn-proto` wire accounting to the simulation's `Message` cost model.
+//!
+//! The paper's evaluation counts communication in §7.1 packets of 67 double-precision
+//! values.  `mpn-sim` has always accounted for the Fig. 3 messages through `Message` /
+//! `Traffic`; `mpn-proto` makes the same messages wire-real.  The two layers must charge
+//! **identical** values and packets for every data-plane message, or the network front-end
+//! would silently drift from every figure the simulation reproduces:
+//!
+//! * a single-user `Request::Report` ↔ `Message::location_report` / `Message::probe_reply`,
+//! * a multi-user `Request::Report` ↔ its constituent per-user reports,
+//! * `Response::ProbeRequest` ↔ `Message::probe`,
+//! * `Response::SafeRegion` ↔ `Message::result_notification`, compressed and plain, for
+//!   circle regions and for real tile regions produced by the server.
+
+use mpn::core::{Method, MpnServer, Objective, SafeRegion};
+use mpn::geom::{Circle, Point};
+use mpn::index::RTree;
+use mpn::mobility::poi::{clustered_pois, PoiConfig};
+use mpn::proto::{Request, Response};
+use mpn::sim::Message;
+
+fn report(positions: Vec<Point>) -> Request {
+    Request::Report { group: 9, positions }
+}
+
+fn safe_region(region: SafeRegion) -> Response {
+    Response::SafeRegion { group: 9, user: 0, meeting_point: Point::new(1.0, 2.0), region }
+}
+
+#[test]
+fn single_user_reports_match_location_reports_and_probe_replies() {
+    let wire = report(vec![Point::new(3.0, 4.0)]);
+    for message in [Message::location_report(), Message::probe_reply()] {
+        assert_eq!(wire.values(), message.values);
+        assert_eq!(wire.packets(), message.packets());
+    }
+}
+
+#[test]
+fn batched_reports_cost_their_constituent_per_user_reports() {
+    for users in 1..=40 {
+        let wire = report((0..users).map(|i| Point::new(i as f64, 0.0)).collect());
+        let per_user = Message::location_report();
+        assert_eq!(wire.values(), users * per_user.values);
+        assert_eq!(
+            wire.packets(),
+            users * per_user.packets(),
+            "a {users}-user batch is {users} separate uplink transmissions"
+        );
+    }
+}
+
+#[test]
+fn probe_requests_match_probe_messages() {
+    let wire = Response::ProbeRequest { group: 9, user: 3 };
+    let message = Message::probe();
+    assert_eq!(wire.values(true), message.values);
+    assert_eq!(wire.packets(true), message.packets());
+}
+
+#[test]
+fn circle_safe_regions_match_result_notifications() {
+    let region = SafeRegion::Circle(Circle::new(Point::new(5.0, 5.0), 2.0));
+    for compress in [true, false] {
+        let wire = safe_region(region.clone());
+        let message = Message::result_notification(&region, compress);
+        assert_eq!(wire.values(compress), message.values);
+        assert_eq!(wire.packets(compress), message.packets());
+    }
+}
+
+#[test]
+fn real_tile_regions_match_result_notifications_compressed_and_plain() {
+    // Regions straight out of the server, so the parity covers realistic tile counts (and
+    // the compressed encoding path), not hand-built toys.
+    let pois =
+        clustered_pois(&PoiConfig { count: 2_000, domain: 3_000.0, ..PoiConfig::default() }, 31);
+    let tree = RTree::bulk_load(&pois);
+    let users = vec![Point::new(900.0, 900.0), Point::new(1_400.0, 1_100.0)];
+
+    for objective in [Objective::Max, Objective::Sum] {
+        let answer = MpnServer::new(&tree, objective, Method::tile()).compute(&users);
+        assert!(!answer.regions.is_empty());
+        for region in &answer.regions {
+            for compress in [true, false] {
+                let wire = safe_region(region.clone());
+                let message = Message::result_notification(region, compress);
+                assert_eq!(
+                    wire.values(compress),
+                    message.values,
+                    "{objective:?}/compress={compress} value accounting diverged"
+                );
+                assert_eq!(wire.packets(compress), message.packets());
+            }
+        }
+    }
+}

@@ -1,12 +1,14 @@
 //! Regression tests for concrete inputs that once exposed bugs (found by the property tests),
 //! and for behaviors whose documentation once disagreed with the code.
 
+use std::sync::Arc;
+
 use mpn::core::{Method, MpnServer, Objective, SafeRegion};
 use mpn::geom::Point;
 use mpn::index::RTree;
 use mpn::mobility::waypoint::{random_waypoint, WaypointConfig};
 use mpn::mobility::Trajectory;
-use mpn::sim::{MonitorConfig, MonitoringEngine};
+use mpn::sim::{EpochUpdate, MonitorConfig, MonitoringEngine, TrajectoryFeed};
 
 /// `TickSummary::finished` was documented as a fleet-wide total but its relationship to
 /// deregistration was implicit: a deregistered group silently vanished from the total, which
@@ -24,14 +26,14 @@ fn finished_total_excludes_deregistered_groups_which_move_to_retired() {
         .collect();
 
     let horizons = [10usize, 10, 30];
-    let mut engine = MonitoringEngine::new(&tree, 2);
+    let mut engine = MonitoringEngine::new(tree, 2);
     let ids: Vec<_> = fleet
         .iter()
         .zip(horizons)
         .map(|(group, horizon)| {
             let config =
                 MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(horizon);
-            engine.register(group, config)
+            engine.register(TrajectoryFeed::from_group(group), config)
         })
         .collect();
 
@@ -61,6 +63,59 @@ fn finished_total_excludes_deregistered_groups_which_move_to_retired() {
     assert_eq!(all.len(), 3);
     assert_eq!(all[0].timestamps, 9, "the retired record survives into_group_metrics");
     assert_eq!(all[2].timestamps, 29);
+}
+
+/// `MonitoringEngine::horizon()` used to be `max().unwrap_or(0)` over per-session horizons
+/// (each of which was `min()` over the group's trajectory lengths) — a streaming session
+/// with no pre-known horizon had no honest representation and an empty fleet looked
+/// "finished at 0".  The contract is now explicit: `horizon()` is `Some(max)`
+/// only when every registered session is bounded, `None` as soon as any session is
+/// open-horizon; open sessions never count into `TickSummary::finished` (they have nothing
+/// to finish) and starve visibly (`TickSummary::starved`) instead of advancing on missing
+/// data.
+#[test]
+fn open_horizon_streams_have_no_finish_line_and_never_count_as_finished() {
+    let pois: Vec<Point> =
+        (0..80).map(|i| Point::new(f64::from(i % 10) * 60.0, f64::from(i / 10) * 70.0)).collect();
+    let tree = Arc::new(RTree::bulk_load(&pois));
+    let traj = WaypointConfig { domain: 600.0, speed_limit: 6.0, timestamps: 40 };
+    let group: Vec<Trajectory> = (0..2).map(|i| random_waypoint(&traj, 100 + i as u64)).collect();
+
+    let mut engine = MonitoringEngine::new(Arc::clone(&tree), 2);
+    let bounded = engine.register(
+        TrajectoryFeed::from_group(&group),
+        MonitorConfig::new(Objective::Max, Method::circle()).with_max_timestamps(5),
+    );
+    assert_eq!(engine.horizon(), Some(5), "an all-bounded fleet reports its longest horizon");
+
+    let open = engine.register_stream(2, MonitorConfig::new(Objective::Max, Method::circle()));
+    assert_eq!(engine.horizon(), None, "one open session makes the fleet horizon open");
+    assert_eq!(engine.group(open).horizon(), None);
+    assert_eq!(engine.group(open).remaining_horizon(), None);
+
+    // Drive the bounded replay to its end while feeding the stream only occasionally.
+    for t in 0..8 {
+        if t % 2 == 0 {
+            let positions: Vec<Point> = group.iter().map(|traj| traj.at(t)).collect();
+            engine.submit(EpochUpdate { group_id: open, positions }).unwrap();
+        }
+        let summary = engine.tick();
+        assert_eq!(summary.starved, usize::from(t % 2 != 0), "unfed epochs starve visibly");
+        assert_eq!(
+            summary.finished,
+            usize::from(engine.group(bounded).is_finished()),
+            "only the bounded session can ever count as finished"
+        );
+    }
+    assert!(engine.group(bounded).is_finished());
+    assert!(!engine.group(open).is_finished(), "open sessions never finish on their own");
+    assert!(!engine.is_finished());
+    assert_eq!(engine.group_metrics(open).timestamps, 3, "4 fed epochs = registration + 3");
+
+    // Deregistration is the only way out for an open session — and restores boundedness.
+    engine.deregister(open).unwrap();
+    assert_eq!(engine.horizon(), Some(5));
+    assert!(engine.is_finished());
 }
 
 /// Three almost-collinear POIs with two users on opposite sides: found by proptest as a case
