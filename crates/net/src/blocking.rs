@@ -1,0 +1,57 @@
+//! The legacy blocking front-end: one OS thread, one connection, the shared core.
+//!
+//! [`serve_blocking`] is the one-thread-per-connection loop the multiplexed front-end
+//! replaces at scale, kept because it is the simplest possible transport over the same
+//! [`ServerCore`]: read one whole frame ([`read_frame`]), enqueue it, run one engine tick,
+//! write this client's responses back under the count-prefixed batch envelope.  Running the
+//! identical core and the identical envelope is what pins the two TCP paths byte-identical
+//! (`tests/mux_parity.rs`).
+
+use std::io;
+use std::net::TcpStream;
+
+use mpn_proto::{read_frame, Request};
+use mpn_sim::{ClientId, ServerCore};
+
+use crate::envelope::write_batch;
+
+/// Serves one blocking connection on `core` as client `client` until the peer disconnects.
+///
+/// Each uplink request is applied in its own engine tick and answered with one response
+/// batch; on EOF the client is [`disconnect`](ServerCore::disconnect)ed, deregistering any
+/// groups it still owns.  Responses the tick addressed to *other* clients are dropped (the
+/// blocking path has no route to them) — give each blocking connection its own core, or
+/// accept that only the multiplexed front-end multiplexes.
+///
+/// # Errors
+/// `InvalidData` when the uplink stream does not decode, plus any socket I/O error.  The
+/// client is disconnected from the core on every exit path.
+pub fn serve_blocking(
+    stream: &mut TcpStream,
+    core: &mut ServerCore,
+    client: ClientId,
+) -> io::Result<()> {
+    let result = serve_loop(stream, core, client);
+    core.disconnect(client);
+    result
+}
+
+fn serve_loop(stream: &mut TcpStream, core: &mut ServerCore, client: ClientId) -> io::Result<()> {
+    while let Some(frame) = read_frame(stream)? {
+        let (request, _) = Request::decode(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        core.enqueue(client, request);
+        // Drain the request *and* any inbox epochs a burst left behind, answering each tick
+        // with its own batch — the same cadence the lock-step client observes from the mux.
+        while core.has_work() {
+            let output = core.process();
+            let own: Vec<_> = output
+                .responses
+                .into_iter()
+                .filter_map(|(to, response)| (to == client).then_some(response))
+                .collect();
+            write_batch(stream, &own)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! The per-connection state machine of the multiplexed front-end.
+//!
+//! One [`Connection`] owns one non-blocking [`TcpStream`] and the two buffers that decouple
+//! it from the shared engine:
+//!
+//! * **uplink** — raw readable bytes feed a [`FrameReader`]; whole decoded [`Request`]s pop
+//!   out and go to the server core.  Partial frames park in the reader across any number of
+//!   reads; a malformed/oversize frame is fatal for the connection (the stream cannot be
+//!   resynchronised).
+//! * **downlink** — encoded response bytes queue in an outbox and drain whenever the socket
+//!   is writable.  The outbox level drives the **backpressure contract** (see the crate
+//!   docs): above the soft limit the connection stops being read, above the hard limit it is
+//!   dropped.
+//!
+//! The connection never talks to the engine itself; it only classifies what happened
+//! ([`ReadOutcome`]) and lets the event loop decide.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use mpn_proto::{DecodeError, FrameReader, Request};
+use mpn_sim::ClientId;
+
+use crate::poll::{Interest, Token};
+
+/// Why a connection must be closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The peer closed the stream (EOF) — the normal end of a session.
+    Disconnected,
+    /// The uplink byte stream does not decode (unknown tag, lying length, oversize frame,
+    /// malformed payload): the framing is unrecoverable.
+    Malformed,
+    /// The peer stopped draining its downlink and the outbox crossed the hard limit.
+    Backpressure,
+    /// An I/O error other than `WouldBlock`/`Interrupted`.
+    Error,
+}
+
+/// What one readable-event handling pass produced.
+#[derive(Debug, Default)]
+pub struct ReadOutcome {
+    /// Whole requests decoded off the stream, in arrival order.
+    pub requests: Vec<Request>,
+    /// Set when the connection must be closed (requests decoded before the failure are still
+    /// delivered — they were validly framed).
+    pub close: Option<CloseReason>,
+}
+
+/// One multiplexed client connection.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    /// The poll registration of this connection.
+    pub token: Token,
+    /// The core-level identity (never reused, unlike tokens).
+    pub client: ClientId,
+    reader: FrameReader,
+    outbox: Vec<u8>,
+    /// Bytes of `outbox` already written to the socket.
+    sent: usize,
+    /// The interest currently registered with the poller (kept here so the loop only issues
+    /// `reregister` syscalls on actual changes).
+    pub interest: Interest,
+    /// Whether reads are paused by backpressure (outbox above the soft limit).
+    paused: bool,
+}
+
+impl Connection {
+    /// Wraps an accepted stream (the caller has already made it non-blocking).
+    pub fn new(stream: TcpStream, token: Token, client: ClientId) -> Self {
+        Self {
+            stream,
+            token,
+            client,
+            reader: FrameReader::new(),
+            outbox: Vec::new(),
+            sent: 0,
+            interest: Interest::READ,
+            paused: false,
+        }
+    }
+
+    /// The underlying stream (for fd registration).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Bytes queued for the peer and not yet written to the socket.
+    #[must_use]
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len() - self.sent
+    }
+
+    /// Whether reads are currently paused by backpressure.
+    #[must_use]
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Handles a readable event: drains the socket into the frame reader and decodes every
+    /// whole request.  Reading stops early (without consuming the socket dry) when the
+    /// outbox is already above `soft_limit` — a client that does not drain its downlink does
+    /// not get to keep filling the uplink.
+    ///
+    /// Returns the decoded requests plus an optional close verdict; `bytes_in` is
+    /// incremented by the number of bytes consumed off the socket.
+    pub fn handle_readable(&mut self, soft_limit: usize, bytes_in: &mut u64) -> ReadOutcome {
+        let mut outcome = ReadOutcome::default();
+        let mut scratch = [0u8; 16 * 1024];
+        loop {
+            if self.outbox_len() > soft_limit {
+                self.paused = true;
+                break;
+            }
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    outcome.close = Some(CloseReason::Disconnected);
+                    break;
+                }
+                Ok(n) => {
+                    *bytes_in += n as u64;
+                    self.reader.feed(&scratch[..n]);
+                    loop {
+                        match self.reader.next_request() {
+                            Ok(Some(request)) => outcome.requests.push(request),
+                            Ok(None) => break,
+                            Err(DecodeError::Incomplete) => unreachable!("absorbed by FrameReader"),
+                            Err(_) => {
+                                outcome.close = Some(CloseReason::Malformed);
+                                return outcome;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    outcome.close = Some(CloseReason::Error);
+                    break;
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Queues downlink bytes (already-encoded frames / envelope headers) for the peer.
+    pub fn queue_write(&mut self, bytes: &[u8]) {
+        self.outbox.extend_from_slice(bytes);
+    }
+
+    /// Writes as much of the outbox as the socket accepts right now.
+    ///
+    /// Returns `Ok(true)` when the outbox drained completely; `Err` means the connection is
+    /// dead.  `bytes_out` is incremented by what was written.  Once the outbox falls back
+    /// below `soft_limit` a paused connection resumes reading (the caller re-registers
+    /// interest afterwards).
+    pub fn flush(&mut self, soft_limit: usize, bytes_out: &mut u64) -> io::Result<bool> {
+        while self.sent < self.outbox.len() {
+            match self.stream.write(&self.outbox[self.sent..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.sent += n;
+                    *bytes_out += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.sent == self.outbox.len() {
+            self.outbox.clear();
+            self.sent = 0;
+        } else if self.sent >= 64 * 1024 {
+            // Compact occasionally so a long-lived slow reader does not pin dead bytes.
+            self.outbox.drain(..self.sent);
+            self.sent = 0;
+        }
+        if self.paused && self.outbox_len() <= soft_limit {
+            self.paused = false;
+        }
+        Ok(self.outbox_len() == 0)
+    }
+
+    /// The interest this connection wants right now: read unless paused, write while the
+    /// outbox holds bytes.
+    #[must_use]
+    pub fn desired_interest(&self) -> Interest {
+        Interest { read: !self.paused, write: self.outbox_len() > 0 }
+    }
+}

@@ -1,0 +1,58 @@
+//! Network front-ends for the meeting-point monitoring server.
+//!
+//! `mpn-sim`'s [`ServerCore`](mpn_sim::ServerCore) is transport-agnostic: a queue of
+//! client-tagged requests, an engine tick, client-tagged responses.  This crate supplies the
+//! transports — and nothing but the transports — on top of `std` alone (no external event
+//! library; the readiness layer talks to `epoll`/`poll` directly in [`poll`]).
+//!
+//! # The three front-end paths
+//!
+//! All three produce **byte-identical downlinks for the same lock-step request trace**
+//! (pinned by the workspace test `tests/mux_parity.rs`):
+//!
+//! 1. **In-process** — no transport at all: [`mpn_sim::MonitoringServer`] enqueues decoded
+//!    requests and `process()`es on the caller's cadence.  What tests and `mpn-bench` use.
+//! 2. **Blocking TCP** — [`serve_blocking`]: one OS thread per connection, whole-frame
+//!    blocking reads, one engine tick per request, responses under the count-prefixed batch
+//!    [`envelope`].  Simple and fine for a handful of sockets.
+//! 3. **Multiplexed** — [`MuxServer`]: one event-loop thread, thousands of non-blocking
+//!    sockets, one *shared* core.  Readiness events ([`poll::Poller`]) drive per-connection
+//!    state machines ([`conn::Connection`]) whose incremental [`mpn_proto::FrameReader`]s
+//!    reassemble frames across arbitrarily fragmented reads; decoded requests from every
+//!    ready socket batch into the core, one engine tick runs per loop iteration, and each
+//!    addressed client gets one enveloped batch written back through its outbox.
+//!
+//! # The backpressure contract
+//!
+//! A multiplexed client that stops draining its downlink is contained in two phases, sized
+//! by [`MuxConfig`]:
+//!
+//! 1. **Pause** — once a connection's outbox exceeds `soft_outbox_limit`, the loop stops
+//!    *reading* it (read interest is dropped).  The client can no longer submit work, so its
+//!    sessions go quiet and the outbox stops growing from its own traffic; TCP flow control
+//!    propagates the stall to the peer.  Reading resumes as soon as the outbox drains back
+//!    under the soft limit.
+//! 2. **Drop** — a paused connection can still accrue downlink from already-submitted epochs
+//!    (inbox backlog).  If the outbox ever exceeds `hard_outbox_limit`, the connection is
+//!    closed outright and [`disconnect`](mpn_sim::ServerCore::disconnect)ed from the core:
+//!    its owned groups are deregistered and its queued requests dropped.  A slow reader is
+//!    never allowed to hold unbounded server memory, and a vanished client never leaks live
+//!    sessions.
+//!
+//! The same disconnect path runs on EOF, on undecodable uplink bytes (framing cannot be
+//! resynchronised, so the connection is closed — requests decoded before the bad frame are
+//! still honoured), and on socket errors.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+pub mod blocking;
+pub mod conn;
+pub mod envelope;
+pub mod mux;
+pub mod poll;
+
+pub use blocking::serve_blocking;
+pub use conn::{CloseReason, Connection, ReadOutcome};
+pub use envelope::{encode_batch, read_batch, write_batch};
+pub use mux::{MuxConfig, MuxServer, MuxStats};
+pub use poll::{Interest, PollEvent, Poller, Token};

@@ -469,6 +469,83 @@ pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(out))
 }
 
+/// Incremental frame assembler for readiness-driven (non-blocking) transports.
+///
+/// [`read_frame`] needs a blocking [`Read`]; an event loop instead gets arbitrary byte chunks
+/// whenever a socket is readable.  A `FrameReader` buffers those chunks
+/// ([`feed`](FrameReader::feed)) and hands back whole decoded messages as soon as they are
+/// complete ([`next_request`](FrameReader::next_request) /
+/// [`next_response`](FrameReader::next_response)), mapping the codec's
+/// [`DecodeError::Incomplete`] to `Ok(None)` — "wait for more bytes" is not an error on a
+/// stream.  Every other [`DecodeError`] **is** final: the stream is desynchronised (unknown
+/// tag, lying length, malformed payload) and the connection should be closed; the reader
+/// makes no attempt to resynchronise.
+///
+/// Consumed bytes are compacted away lazily, so a long-lived connection's buffer stays
+/// proportional to its largest in-flight frame, not its lifetime traffic.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    /// Bytes of `buf` before this offset are already decoded and await compaction.
+    pos: usize,
+}
+
+impl FrameReader {
+    /// Creates an empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the transport (any chunking, including one byte at a time).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: reuse the dead prefix instead of enlarging the buffer.
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes fed but not yet decoded into a message.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete uplink message, `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    /// Any error other than the internally-absorbed [`DecodeError::Incomplete`]: the stream
+    /// is broken and cannot be decoded further.
+    pub fn next_request(&mut self) -> Result<Option<Request>, DecodeError> {
+        self.next_with(Request::decode)
+    }
+
+    /// Decodes the next complete downlink message, `Ok(None)` when more bytes are needed.
+    ///
+    /// # Errors
+    /// Any error other than the internally-absorbed [`DecodeError::Incomplete`]: the stream
+    /// is broken and cannot be decoded further.
+    pub fn next_response(&mut self) -> Result<Option<Response>, DecodeError> {
+        self.next_with(Response::decode)
+    }
+
+    fn next_with<T>(
+        &mut self,
+        decode: impl FnOnce(&[u8]) -> Result<(T, usize), DecodeError>,
+    ) -> Result<Option<T>, DecodeError> {
+        match decode(&self.buf[self.pos..]) {
+            Ok((message, consumed)) => {
+                self.pos += consumed;
+                Ok(Some(message))
+            }
+            Err(DecodeError::Incomplete) => Ok(None),
+            Err(fatal) => Err(fatal),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -607,6 +684,57 @@ mod tests {
             Response::decode(&deep).unwrap_err(),
             DecodeError::Malformed("tile level out of range")
         );
+    }
+
+    #[test]
+    fn frame_reader_reassembles_any_chunking() {
+        let requests = [
+            Request::Register { group_size: 3, config: WireConfig::default() },
+            Request::Report { group: 7, positions: vec![Point::new(1.0, 2.0)] },
+            Request::Deregister { group: 7 },
+        ];
+        let mut wire = Vec::new();
+        for request in &requests {
+            request.encode(&mut wire);
+        }
+        // Feed the whole trace one byte at a time: every prefix must park as `Ok(None)`,
+        // every completed frame must pop out exactly once, in order.
+        for chunk in [1usize, 2, 3, 5, wire.len()] {
+            let mut reader = FrameReader::new();
+            let mut decoded = Vec::new();
+            for bytes in wire.chunks(chunk) {
+                reader.feed(bytes);
+                while let Some(request) = reader.next_request().expect("a clean stream") {
+                    decoded.push(request);
+                }
+            }
+            assert_eq!(decoded, requests, "chunk size {chunk}");
+            assert_eq!(reader.buffered(), 0, "nothing left over");
+        }
+    }
+
+    #[test]
+    fn frame_reader_surfaces_fatal_errors_and_compacts() {
+        // Oversize prefix is fatal on the first look.
+        let mut reader = FrameReader::new();
+        reader.feed(&((MAX_FRAME_LEN + 1) as u32).to_le_bytes());
+        assert!(matches!(reader.next_request(), Err(DecodeError::Oversize(_))));
+
+        // A downlink frame on the uplink decoder is fatal too.
+        let mut reader = FrameReader::new();
+        reader.feed(&Response::ProbeRequest { group: 0, user: 0 }.encoded());
+        assert!(matches!(reader.next_request(), Err(DecodeError::UnknownTag(_))));
+
+        // The dead prefix is compacted away once consumed: buffer stays bounded by the
+        // in-flight frame, not the connection's lifetime traffic.
+        let mut reader = FrameReader::new();
+        let frame = Request::Deregister { group: 1 }.encoded();
+        for _ in 0..2_000 {
+            reader.feed(&frame);
+            assert!(reader.next_request().unwrap().is_some());
+        }
+        assert_eq!(reader.buffered(), 0);
+        assert!(reader.buf.len() < 8192, "consumed bytes must not accumulate");
     }
 
     #[test]

@@ -50,7 +50,7 @@
 
 pub mod codec;
 
-pub use codec::{read_frame, DecodeError, MAX_FRAME_LEN};
+pub use codec::{read_frame, DecodeError, FrameReader, MAX_FRAME_LEN};
 
 use mpn_core::{packets_for_values, region_value_count, Method, Objective, SafeRegion};
 use mpn_geom::Point;

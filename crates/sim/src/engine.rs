@@ -151,18 +151,31 @@ pub struct TickSummary {
     pub retired: usize,
 }
 
+/// Placement weight of one session: its remaining bounded horizon, or
+/// [`OPEN_HORIZON_WEIGHT`] for an open-horizon stream.
+fn session_weight(session: &GroupSession) -> usize {
+    session.remaining_horizon().unwrap_or(OPEN_HORIZON_WEIGHT)
+}
+
 /// One shard: a slice of the fleet advanced by a single worker per tick.
 #[derive(Debug, Default)]
 struct Shard {
     sessions: Vec<(GroupId, GroupSession)>,
     /// Ticks during which this shard had no live session (no worker was woken for it).
     idle_ticks: usize,
+    /// Cached remaining work (the sum of [`session_weight`] over `sessions`), maintained
+    /// incrementally: adjusted on placement and deregistration, recomputed by
+    /// [`advance_all`](Shard::advance_all) while the tick is already visiting every session.
+    /// Keeping it current at every mutation point makes `register` placement O(shards)
+    /// instead of a full O(fleet) re-scan per call.
+    weight: usize,
 }
 
 impl Shard {
     /// Advances every live session one epoch; returns this shard's tick tally.
     fn advance_all(&mut self, tree: &RTree) -> TickSummary {
         let mut tally = TickSummary::default();
+        let mut weight = 0usize;
         for (_, session) in &mut self.sessions {
             match session.advance(tree) {
                 StepOutcome::Finished => {}
@@ -181,17 +194,19 @@ impl Shard {
             if session.is_finished() {
                 tally.finished += 1;
             }
+            // The tick is the one place sessions' remaining horizons change, and it already
+            // walks every session — refresh the cached weight for free, on the worker.
+            weight = weight.saturating_add(session_weight(session));
         }
+        self.weight = weight;
         tally
     }
 
-    /// Remaining work on this shard: the sum of its sessions' remaining horizons, with
-    /// open-horizon sessions charged [`OPEN_HORIZON_WEIGHT`].
-    fn weight(&self) -> usize {
-        self.sessions
-            .iter()
-            .map(|(_, s)| s.remaining_horizon().unwrap_or(OPEN_HORIZON_WEIGHT))
-            .fold(0usize, usize::saturating_add)
+    /// Recomputes the remaining work from scratch (the debug cross-check of the cached
+    /// [`weight`](Shard::weight) counter).
+    #[cfg(debug_assertions)]
+    fn recompute_weight(&self) -> usize {
+        self.sessions.iter().map(|(_, s)| session_weight(s)).fold(0usize, usize::saturating_add)
     }
 }
 
@@ -356,6 +371,8 @@ impl MonitoringEngine {
             return None;
         };
         let (_, session) = self.shards[shard].sessions.swap_remove(slot);
+        self.shards[shard].weight =
+            self.shards[shard].weight.saturating_sub(session_weight(&session));
         if let Some(&(moved_id, _)) = self.shards[shard].sessions.get(slot) {
             self.directory[moved_id] = DirectoryEntry::Active { shard, slot };
         }
@@ -451,6 +468,8 @@ impl MonitoringEngine {
     fn place(&mut self, id: GroupId, session: GroupSession) {
         let shard = self.least_loaded_shard();
         let slot = self.shards[shard].sessions.len();
+        self.shards[shard].weight =
+            self.shards[shard].weight.saturating_add(session_weight(&session));
         self.shards[shard].sessions.push((id, session));
         if let DirectoryEntry::Retired(previous) =
             std::mem::replace(&mut self.directory[id], DirectoryEntry::Active { shard, slot })
@@ -462,11 +481,22 @@ impl MonitoringEngine {
 
     /// The shard with the least remaining work — occupancy weighted by remaining horizon,
     /// open-horizon sessions charged [`OPEN_HORIZON_WEIGHT`] (lowest index on ties).
+    ///
+    /// Reads the incrementally maintained per-shard weight counters, so placement costs
+    /// O(shards) per registration regardless of fleet size.
     fn least_loaded_shard(&self) -> usize {
+        #[cfg(debug_assertions)]
+        for shard in &self.shards {
+            debug_assert_eq!(
+                shard.weight,
+                shard.recompute_weight(),
+                "cached shard weight drifted from its sessions"
+            );
+        }
         self.shards
             .iter()
             .enumerate()
-            .min_by_key(|(_, shard)| shard.weight())
+            .min_by_key(|(_, shard)| shard.weight)
             .map(|(i, _)| i)
             .expect("an engine always has at least one shard")
     }
@@ -527,7 +557,7 @@ impl MonitoringEngine {
                 occupancy: s.sessions.len(),
                 live: s.sessions.iter().filter(|(_, session)| !session.is_finished()).count(),
                 idle_ticks: s.idle_ticks,
-                weight: s.weight(),
+                weight: s.weight,
             })
             .collect()
     }

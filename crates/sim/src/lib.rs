@@ -31,11 +31,30 @@
 //!   runs over a free-list of group ids with **horizon-aware** least-loaded placement
 //!   (occupancy weighted by remaining epochs, [`ShardLoad::weight`]); streaming input
 //!   arrives as [`EpochUpdate`]s via [`submit`](MonitoringEngine::submit).
-//! * [`MonitoringServer`] ([`server`]) — the `mpn-proto` front-end: a queue of wire-shaped
-//!   `Request`s drained into sharded ticks, with the sessions' [`SessionEvent`]s turned into
-//!   per-user `Response`s (probe requests, safe-region assignments).  Works in-process or
-//!   over any byte stream via the `mpn-proto` codec; `examples/network_monitoring.rs` runs
-//!   it both ways, including loopback TCP.
+//! * [`ServerCore`] / [`MonitoringServer`] ([`server`]) — the `mpn-proto` front-end core: a
+//!   queue of client-tagged wire-shaped `Request`s drained into sharded ticks, with the
+//!   sessions' [`SessionEvent`]s routed back to the client owning each group (probe
+//!   requests, safe-region assignments).  The core is transport-agnostic and multi-tenant;
+//!   [`MonitoringServer`] pins it to one implicit client for the in-process path.
+//!
+//! # The three front-end paths
+//!
+//! One `ServerCore` serves three interchangeable front-ends, all producing **byte-identical
+//! responses for the same request trace** (pinned by `tests/mux_parity.rs`):
+//!
+//! 1. **In-process** — decoded `Request` values enqueued on a [`MonitoringServer`] and
+//!    `process()`ed on the caller's cadence.  No transport, no framing; tests and embedded
+//!    deployments.
+//! 2. **Blocking TCP** — the legacy one-thread-per-connection loop (`mpn_net::serve_blocking`):
+//!    `read_frame` pulls whole frames off the socket, each request is applied and ticked,
+//!    the responses go back under the count-prefixed batch envelope.  Simple, but one OS
+//!    thread per client.
+//! 3. **Multiplexed** — the readiness-driven event loop (`mpn_net::MuxServer`): one thread,
+//!    thousands of non-blocking sockets, per-connection incremental decode
+//!    (`mpn_proto::FrameReader`), requests batched into the shared core once per poll
+//!    iteration, write-buffered responses with backpressure (see `mpn-net`'s crate docs for
+//!    the backpressure contract: a client that stops draining first stops being read, then
+//!    is dropped and deregistered).
 //! * [`Message`] / [`Traffic`] ([`message`]) — the §7.1 cost model (packets of 67 doubles),
 //!   shared with `mpn-proto`'s wire accounting through
 //!   [`mpn_core::region_value_count`].
@@ -64,4 +83,4 @@ pub use metrics::{MonitoringMetrics, ShardLoad};
 pub use monitor::{
     run_monitoring, GroupSession, MonitorConfig, SessionEvent, StepOutcome, TrajectoryFeed,
 };
-pub use server::{monitor_config, MonitoringServer};
+pub use server::{monitor_config, ClientId, MonitoringServer, ProcessOutput, ServerCore};

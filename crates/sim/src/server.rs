@@ -1,10 +1,25 @@
 //! The protocol front-end: an `mpn-proto` request queue drained into sharded engine ticks.
 //!
-//! [`MonitoringServer`] is the piece that turns the owned-session [`MonitoringEngine`] into
-//! the server of Fig. 3: clients talk [`Request`] / [`Response`] (in-process as decoded
-//! values, or over any byte stream via the `mpn-proto` codec — see
-//! `examples/network_monitoring.rs` for both), the server queues the requests and applies
-//! them in arrival order at the next [`process`](MonitoringServer::process) call:
+//! Since the multiplexed front-end landed this module is split in two layers:
+//!
+//! * [`ServerCore`] — the **transport-agnostic** heart every front-end shares.  It owns the
+//!   [`MonitoringEngine`], a FIFO of `(client, Request)` pairs, and the group-ownership map
+//!   that makes the server multi-tenant: each registered group belongs to the [`ClientId`]
+//!   that registered it, downlink events route back to that client, and requests addressed
+//!   to another client's group are rejected like unknown groups.  One
+//!   [`process`](ServerCore::process) call applies every queued request in arrival order,
+//!   runs **one** sharded engine tick, and returns the responses tagged with their
+//!   destination client.  [`disconnect`](ServerCore::disconnect) tears down everything a
+//!   vanished client owned — the mid-session-disconnect contract of the network front-ends.
+//! * [`MonitoringServer`] — the single-client convenience wrapper (the in-process path): the
+//!   same core pinned to one implicit client, with plain `Request` in / `Response` out.
+//!
+//! Three front-ends drive the core today (see `crates/net`): decoded values in-process, a
+//! blocking one-thread-per-connection TCP loop, and the readiness-driven multiplexed event
+//! loop — all byte-identical on the wire for the same request trace, because the responses
+//! are produced here and only framed by the transports.
+//!
+//! Per request, the core behaves as before the split:
 //!
 //! * [`Request::Register`] → a streaming [`GroupSession`](crate::GroupSession) with its
 //!   event log enabled, placed horizon-aware on the least-loaded shard; answered with a
@@ -14,14 +29,11 @@
 //!   touching any session);
 //! * [`Request::Deregister`] → session teardown with metrics retained for fleet accounting.
 //!
-//! Each `process` call then runs **one** sharded engine tick — every group that received an
-//! epoch advances in parallel — and converts the sessions' recorded
-//! [`SessionEvent`](crate::SessionEvent)s into downlink responses: `ProbeRequest`s for the
-//! step-2 probes and `SafeRegion`s for the step-3 assignments.  The caller owns the cadence:
-//! a real deployment calls `process` on its epoch clock, a test calls it after enqueueing
-//! whatever it wants applied.
+//! The caller owns the tick cadence: a deployment calls `process` on its epoch clock (the
+//! event loop calls it once per poll iteration with work pending), a test calls it after
+//! enqueueing whatever it wants applied.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use mpn_index::RTree;
@@ -29,6 +41,12 @@ use mpn_proto::{NotificationKind, Request, Response, WireConfig, WireGroupId};
 
 use crate::engine::{EpochUpdate, GroupId, MonitoringEngine, SubmitError, TickSummary};
 use crate::monitor::{GroupSession, MonitorConfig, SessionEvent};
+
+/// Identifier of one client connection as the core sees it.
+///
+/// Front-ends allocate these (monotonically — ids are never reused, unlike poll tokens or
+/// group ids, so a recycled connection slot can never inherit a dead client's groups).
+pub type ClientId = u64;
 
 /// Resolves a client-chosen [`WireConfig`] to the server-side monitoring configuration
 /// (server defaults fill everything the wire does not carry, e.g. the heading smoothing).
@@ -43,16 +61,39 @@ pub fn monitor_config(wire: &WireConfig) -> MonitorConfig {
     config
 }
 
-/// A monitoring server speaking the `mpn-proto` protocol over a request queue.
+/// What one [`ServerCore::process`] call produced.
+#[derive(Debug, Default)]
+pub struct ProcessOutput {
+    /// Every downlink response of this tick, tagged with its destination client, in send
+    /// order: control notifications first (one per applied request that warrants one, in
+    /// request arrival order), then the tick's per-user protocol sends in shard order.
+    pub responses: Vec<(ClientId, Response)>,
+    /// Clients that had at least one request applied this tick, deduplicated, in first-
+    /// arrival order.  Front-ends that frame their downlink per tick (the batch envelope of
+    /// the TCP paths) answer exactly `applied ∪ {clients with responses}`.
+    pub applied: Vec<ClientId>,
+    /// The engine tick that ran after the requests were applied.
+    pub summary: TickSummary,
+}
+
+/// The transport-agnostic monitoring server core: request queue, engine, tick loop and
+/// multi-tenant response routing, shared by every front-end.
 #[derive(Debug)]
-pub struct MonitoringServer {
+pub struct ServerCore {
     engine: MonitoringEngine,
-    queue: VecDeque<Request>,
+    queue: VecDeque<(ClientId, Request)>,
+    /// Which client registered (and therefore owns) each live group.  Entries exist exactly
+    /// for the engine's active groups that were registered through the core.
+    owners: HashMap<GroupId, ClientId>,
+    /// Submitted epochs not yet consumed by a tick, over all sessions.  Lets front-ends ask
+    /// [`has_work`](ServerCore::has_work) without scanning the fleet: a burst of reports is
+    /// applied to the inboxes in one call but drained one epoch per tick.
+    backlog: usize,
     last_summary: Option<TickSummary>,
 }
 
-impl MonitoringServer {
-    /// Creates a server over the POI tree with `num_shards` engine shards.
+impl ServerCore {
+    /// Creates a core over the POI tree with `num_shards` engine shards.
     ///
     /// # Panics
     /// Panics when the POI tree is empty.
@@ -61,6 +102,8 @@ impl MonitoringServer {
         Self {
             engine: MonitoringEngine::new(tree, num_shards),
             queue: VecDeque::new(),
+            owners: HashMap::new(),
+            backlog: 0,
             last_summary: None,
         }
     }
@@ -71,15 +114,15 @@ impl MonitoringServer {
         &self.engine
     }
 
-    /// The summary of the most recent [`process`](MonitoringServer::process) tick.
+    /// The summary of the most recent [`process`](ServerCore::process) tick.
     #[must_use]
     pub fn last_summary(&self) -> Option<TickSummary> {
         self.last_summary
     }
 
-    /// Queues one request for the next [`process`](MonitoringServer::process) call.
-    pub fn enqueue(&mut self, request: Request) {
-        self.queue.push_back(request);
+    /// Queues one request from `client` for the next [`process`](ServerCore::process) call.
+    pub fn enqueue(&mut self, client: ClientId, request: Request) {
+        self.queue.push_back((client, request));
     }
 
     /// Number of requests waiting to be applied.
@@ -88,72 +131,201 @@ impl MonitoringServer {
         self.queue.len()
     }
 
-    /// Applies every queued request in arrival order, runs one sharded engine tick, and
-    /// returns the downlink responses: control notifications first (one per applied request
-    /// that warrants one, in request order), then the tick's per-user protocol sends.
-    pub fn process(&mut self) -> Vec<Response> {
-        let mut responses = Vec::new();
-        while let Some(request) = self.queue.pop_front() {
-            self.apply(request, &mut responses);
-        }
-        self.last_summary = Some(self.engine.tick());
-        for (group, event) in self.engine.drain_events() {
-            responses.push(match event {
-                SessionEvent::Probed { user } => Response::ProbeRequest {
-                    group: wire_id(group),
-                    user: u32::try_from(user).expect("group sizes fit u32"),
-                },
-                SessionEvent::Assigned { user, meeting_point, region } => Response::SafeRegion {
-                    group: wire_id(group),
-                    user: u32::try_from(user).expect("group sizes fit u32"),
-                    meeting_point,
-                    region,
-                },
-            });
-        }
-        responses
+    /// Submitted epochs sitting in session inboxes, not yet consumed by a tick.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.backlog
     }
 
-    fn apply(&mut self, request: Request, responses: &mut Vec<Response>) {
+    /// Whether a [`process`](ServerCore::process) call would do anything: requests are
+    /// queued, or previously applied epochs still wait in session inboxes.  Event loops use
+    /// this to skip engine ticks on idle poll iterations.
+    #[must_use]
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || self.backlog > 0
+    }
+
+    /// The client owning a live group, if the group was registered through the core.
+    #[must_use]
+    pub fn owner(&self, group: GroupId) -> Option<ClientId> {
+        self.owners.get(&group).copied()
+    }
+
+    /// Applies every queued request in arrival order, runs one sharded engine tick, and
+    /// returns the client-tagged responses (control notifications first, then the tick's
+    /// per-user protocol sends).
+    pub fn process(&mut self) -> ProcessOutput {
+        let mut output = ProcessOutput::default();
+        while let Some((client, request)) = self.queue.pop_front() {
+            if !output.applied.contains(&client) {
+                output.applied.push(client);
+            }
+            self.apply(client, request, &mut output.responses);
+        }
+        let summary = self.engine.tick();
+        // Every advanced session consumed exactly one inbox epoch: the core only creates
+        // streaming (inbox-fed) sessions, so `advanced` is the tick's backlog drain.
+        self.backlog = self.backlog.saturating_sub(summary.advanced);
+        self.last_summary = Some(summary);
+        output.summary = summary;
+        for (group, event) in self.engine.drain_events() {
+            let Some(&client) = self.owners.get(&group) else {
+                debug_assert!(false, "event from group {group} without an owner");
+                continue;
+            };
+            output.responses.push((
+                client,
+                match event {
+                    SessionEvent::Probed { user } => Response::ProbeRequest {
+                        group: wire_id(group),
+                        user: u32::try_from(user).expect("group sizes fit u32"),
+                    },
+                    SessionEvent::Assigned { user, meeting_point, region } => {
+                        Response::SafeRegion {
+                            group: wire_id(group),
+                            user: u32::try_from(user).expect("group sizes fit u32"),
+                            meeting_point,
+                            region,
+                        }
+                    }
+                },
+            ));
+        }
+        output
+    }
+
+    /// Tears down everything `client` owns after its connection vanished: unapplied queued
+    /// requests are dropped and every group it registered is deregistered (metrics retained,
+    /// like an explicit [`Request::Deregister`]).  Returns the deregistered group ids.
+    ///
+    /// This is the disconnect contract of the network front-ends: a mid-session disconnect
+    /// must not leak live sessions that nobody can ever report to again.
+    pub fn disconnect(&mut self, client: ClientId) -> Vec<GroupId> {
+        self.queue.retain(|(c, _)| *c != client);
+        let mut owned: Vec<GroupId> =
+            self.owners.iter().filter(|(_, &c)| c == client).map(|(&g, _)| g).collect();
+        owned.sort_unstable();
+        for &group in &owned {
+            self.owners.remove(&group);
+            self.backlog = self.backlog.saturating_sub(self.engine.group(group).pending_epochs());
+            let removed = self.engine.deregister(group);
+            debug_assert!(removed.is_some(), "owned groups are live in the engine");
+        }
+        owned
+    }
+
+    fn apply(&mut self, client: ClientId, request: Request, out: &mut Vec<(ClientId, Response)>) {
         match request {
             Request::Register { group_size, config } => {
                 let Ok(group_size) = usize::try_from(group_size) else {
-                    responses.push(notification(u64::MAX, NotificationKind::BadRequest));
+                    out.push((client, notification(u64::MAX, NotificationKind::BadRequest)));
                     return;
                 };
                 if group_size == 0 {
-                    responses.push(notification(u64::MAX, NotificationKind::BadRequest));
+                    out.push((client, notification(u64::MAX, NotificationKind::BadRequest)));
                     return;
                 }
                 let session =
                     GroupSession::streaming(group_size, monitor_config(&config)).with_events(true);
                 let id = self.engine.register_session(session);
-                responses.push(notification(wire_id(id), NotificationKind::Registered));
+                self.owners.insert(id, client);
+                out.push((client, notification(wire_id(id), NotificationKind::Registered)));
             }
             Request::Report { group, positions } => {
-                let Some(group_id) = engine_id(group) else {
-                    responses.push(notification(group, NotificationKind::UnknownGroup));
+                // Ownership gates every group-addressed request: another client's group id
+                // behaves exactly like an unregistered one (no existence leak, no
+                // cross-tenant steering).
+                let Some(group_id) = self.owned_by(group, client) else {
+                    out.push((client, notification(group, NotificationKind::UnknownGroup)));
                     return;
                 };
                 match self.engine.submit(EpochUpdate { group_id, positions }) {
-                    Ok(()) => {}
+                    Ok(()) => self.backlog += 1,
                     Err(SubmitError::UnknownGroup(_)) => {
-                        responses.push(notification(group, NotificationKind::UnknownGroup));
+                        out.push((client, notification(group, NotificationKind::UnknownGroup)));
                     }
                     Err(SubmitError::WrongGroupSize { .. } | SubmitError::Finished(_)) => {
-                        responses.push(notification(group, NotificationKind::BadRequest));
+                        out.push((client, notification(group, NotificationKind::BadRequest)));
                     }
                 }
             }
             Request::Deregister { group } => {
-                let departed = engine_id(group).and_then(|id| self.engine.deregister(id));
+                let departed = self.owned_by(group, client).and_then(|id| {
+                    self.backlog =
+                        self.backlog.saturating_sub(self.engine.group(id).pending_epochs());
+                    self.owners.remove(&id);
+                    self.engine.deregister(id)
+                });
                 let kind = match departed {
                     Some(_) => NotificationKind::Deregistered,
                     None => NotificationKind::UnknownGroup,
                 };
-                responses.push(notification(group, kind));
+                out.push((client, notification(group, kind)));
             }
         }
+    }
+
+    /// Resolves a wire group id to an engine id iff the group is live and owned by `client`.
+    fn owned_by(&self, group: WireGroupId, client: ClientId) -> Option<GroupId> {
+        let id = engine_id(group)?;
+        (self.owners.get(&id) == Some(&client)).then_some(id)
+    }
+}
+
+/// The single-client monitoring server (the in-process front-end): a [`ServerCore`] pinned
+/// to one implicit client, speaking plain `Request` in / `Response` out.
+#[derive(Debug)]
+pub struct MonitoringServer {
+    core: ServerCore,
+}
+
+/// The implicit client of a [`MonitoringServer`].
+const LOCAL_CLIENT: ClientId = 0;
+
+impl MonitoringServer {
+    /// Creates a server over the POI tree with `num_shards` engine shards.
+    ///
+    /// # Panics
+    /// Panics when the POI tree is empty.
+    #[must_use]
+    pub fn new(tree: impl Into<Arc<RTree>>, num_shards: usize) -> Self {
+        Self { core: ServerCore::new(tree, num_shards) }
+    }
+
+    /// The underlying engine, for telemetry (fleet metrics, shard loads, per-group state).
+    #[must_use]
+    pub fn engine(&self) -> &MonitoringEngine {
+        self.core.engine()
+    }
+
+    /// The shared transport-agnostic core (the multi-client API surface).
+    #[must_use]
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
+    /// The summary of the most recent [`process`](MonitoringServer::process) tick.
+    #[must_use]
+    pub fn last_summary(&self) -> Option<TickSummary> {
+        self.core.last_summary()
+    }
+
+    /// Queues one request for the next [`process`](MonitoringServer::process) call.
+    pub fn enqueue(&mut self, request: Request) {
+        self.core.enqueue(LOCAL_CLIENT, request);
+    }
+
+    /// Number of requests waiting to be applied.
+    #[must_use]
+    pub fn pending_requests(&self) -> usize {
+        self.core.pending_requests()
+    }
+
+    /// Applies every queued request in arrival order, runs one sharded engine tick, and
+    /// returns the downlink responses: control notifications first (one per applied request
+    /// that warrants one, in request order), then the tick's per-user protocol sends.
+    pub fn process(&mut self) -> Vec<Response> {
+        self.core.process().responses.into_iter().map(|(_, response)| response).collect()
     }
 }
 
@@ -310,5 +482,168 @@ mod tests {
         assert_eq!(metrics.timestamps, replay.timestamps);
         assert_eq!(metrics.traffic, replay.traffic);
         assert_eq!(metrics.stats, replay.stats);
+    }
+
+    #[test]
+    fn core_routes_responses_to_the_owning_client() {
+        let (tree, group) = world();
+        let mut core = ServerCore::new(Arc::clone(&tree), 2);
+        core.enqueue(
+            7,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        core.enqueue(
+            9,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        let output = core.process();
+        assert_eq!(output.applied, vec![7, 9]);
+        let ids: Vec<(ClientId, WireGroupId)> = output
+            .responses
+            .iter()
+            .filter_map(|(c, r)| match r {
+                Response::Notification { group, kind: NotificationKind::Registered } => {
+                    Some((*c, *group))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids.len(), 2);
+        let (id7, id9) = (ids[0].1, ids[1].1);
+        assert_eq!(ids[0].0, 7);
+        assert_eq!(ids[1].0, 9);
+        assert_eq!(core.owner(id7 as usize), Some(7));
+        assert_eq!(core.owner(id9 as usize), Some(9));
+
+        // Each client's reports produce downlink addressed to that client only.
+        core.enqueue(7, Request::Report { group: id7, positions: positions_at(&group, 0) });
+        core.enqueue(9, Request::Report { group: id9, positions: positions_at(&group, 0) });
+        let output = core.process();
+        assert_eq!(output.summary.registered, 2);
+        for (client, response) in &output.responses {
+            match response {
+                Response::SafeRegion { group, .. } | Response::ProbeRequest { group, .. } => {
+                    let expect = if *group == id7 { 7 } else { 9 };
+                    assert_eq!(*client, expect, "downlink routes to the owning client");
+                }
+                Response::Notification { .. } => {}
+            }
+        }
+        let assigned = output
+            .responses
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::SafeRegion { .. }))
+            .count();
+        assert_eq!(assigned, 2 * group.len(), "both groups got their initial assignment");
+    }
+
+    #[test]
+    fn cross_client_group_access_is_rejected_like_an_unknown_group() {
+        let (tree, group) = world();
+        let mut core = ServerCore::new(Arc::clone(&tree), 2);
+        core.enqueue(
+            1,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        let output = core.process();
+        let id = output
+            .responses
+            .iter()
+            .find_map(|(_, r)| match r {
+                Response::Notification { group, kind: NotificationKind::Registered } => {
+                    Some(*group)
+                }
+                _ => None,
+            })
+            .unwrap();
+
+        // Client 2 cannot report into, or deregister, client 1's group.
+        core.enqueue(2, Request::Report { group: id, positions: positions_at(&group, 0) });
+        core.enqueue(2, Request::Deregister { group: id });
+        let output = core.process();
+        let to_2: Vec<_> = output.responses.iter().filter(|(c, _)| *c == 2).collect();
+        assert_eq!(to_2.len(), 2);
+        assert!(to_2.iter().all(|(_, r)| matches!(
+            r,
+            Response::Notification { kind: NotificationKind::UnknownGroup, .. }
+        )));
+        assert_eq!(core.engine().group_count(), 1, "the group survived the hijack attempts");
+        assert_eq!(core.owner(id as usize), Some(1));
+    }
+
+    #[test]
+    fn disconnect_deregisters_owned_groups_and_drops_queued_requests() {
+        let (tree, group) = world();
+        let mut core = ServerCore::new(Arc::clone(&tree), 2);
+        core.enqueue(
+            1,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        core.enqueue(
+            2,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        core.process();
+        assert_eq!(core.engine().group_count(), 2);
+
+        // Client 1 vanishes with a report still queued and epochs in its inbox.
+        core.enqueue(1, Request::Report { group: 0, positions: positions_at(&group, 0) });
+        core.process();
+        core.enqueue(1, Request::Report { group: 0, positions: positions_at(&group, 1) });
+        core.enqueue(1, Request::Report { group: 0, positions: positions_at(&group, 2) });
+        assert_eq!(core.pending_requests(), 2);
+        let dropped = core.disconnect(1);
+        assert_eq!(dropped, vec![0]);
+        assert_eq!(core.pending_requests(), 0, "queued requests of the dead client are dropped");
+        assert_eq!(core.backlog(), 0, "inbox epochs of the dead client left the backlog");
+        assert_eq!(core.engine().group_count(), 1, "client 2's group survives");
+        assert_eq!(core.engine().retired_count(), 1, "client 1's metrics are retained");
+        assert_eq!(core.owner(0), None);
+        assert!(core.disconnect(1).is_empty(), "disconnect is idempotent");
+
+        // The freed id is reusable and gets a fresh owner.
+        core.enqueue(
+            3,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        let output = core.process();
+        let reused = output
+            .responses
+            .iter()
+            .find_map(|(_, r)| match r {
+                Response::Notification { group, kind: NotificationKind::Registered } => {
+                    Some(*group)
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(reused, 0, "the freed id is reused");
+        assert_eq!(core.owner(0), Some(3), "ownership moved to the new registrant");
+    }
+
+    #[test]
+    fn backlog_tracks_unconsumed_epochs() {
+        let (tree, group) = world();
+        let mut core = ServerCore::new(Arc::clone(&tree), 2);
+        core.enqueue(
+            1,
+            Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+        );
+        core.process();
+        assert!(!core.has_work());
+
+        // A burst of three reports is applied in one call but consumed one epoch per tick.
+        for t in 0..3 {
+            core.enqueue(1, Request::Report { group: 0, positions: positions_at(&group, t) });
+        }
+        assert!(core.has_work());
+        let output = core.process();
+        assert_eq!(output.summary.advanced, 1);
+        assert_eq!(core.backlog(), 2, "two epochs still queued in the inbox");
+        assert!(core.has_work(), "inbox epochs keep the core busy without new requests");
+        core.process();
+        core.process();
+        assert_eq!(core.backlog(), 0);
+        assert!(!core.has_work());
     }
 }

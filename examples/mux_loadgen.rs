@@ -1,0 +1,225 @@
+//! Loopback load generator for the multiplexed front-end: one event-loop thread, one shared
+//! engine, 1000+ concurrent lock-step connections.
+//!
+//! A `MuxServer` runs on its own thread; a few client threads each own a slice of the
+//! connections and drive them in lock-step rounds (send one report per connection, then read
+//! each connection's response batch).  Every epoch round-trip is timed from the uplink write
+//! to the complete batch read, giving per-notification latency under full fan-in; the server
+//! stats give tick and request throughput.  Results land in `BENCH_6.json`.
+//!
+//! Environment knobs (defaults in parentheses): `MPN_CONNS` (1024) total connections,
+//! `MPN_EPOCHS` (20) reports per connection, `MPN_GROUP` (3) users per group, `MPN_SHARDS`
+//! (4) engine shards, `MPN_CLIENT_THREADS` (8), `MPN_OUT` (`BENCH_6.json`).
+//!
+//! Run with: `cargo run --release --example mux_loadgen`
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mpn::geom::Point;
+use mpn::index::RTree;
+use mpn::mobility::poi::{clustered_pois, PoiConfig};
+use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
+use mpn::mobility::Trajectory;
+use mpn::net::{read_batch, MuxConfig, MuxServer};
+use mpn::proto::{NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective};
+use mpn::sim::{ServerCore, TrajectoryFeed};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let conns = env_usize("MPN_CONNS", 1024);
+    let epochs = env_usize("MPN_EPOCHS", 20);
+    let group_size = env_usize("MPN_GROUP", 3);
+    let shards = env_usize("MPN_SHARDS", 4);
+    let threads = env_usize("MPN_CLIENT_THREADS", 8).max(1);
+    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_6.json".into());
+
+    println!(
+        "mux loadgen: {conns} connections x {epochs} epochs, groups of {group_size}, \
+         {shards} shards, {threads} client threads"
+    );
+
+    let pois = clustered_pois(
+        &PoiConfig { count: 2_000, domain: 4_000.0, clusters: 8, ..PoiConfig::default() },
+        29,
+    );
+    let core = ServerCore::new(Arc::new(RTree::bulk_load(&pois)), shards);
+    // Pin per-connection kernel send buffers: at 1k+ sockets the autotuned default would
+    // otherwise let slow readers eat megabytes each before backpressure can act.
+    let config = MuxConfig { socket_send_buffer: Some(64 << 10), ..MuxConfig::default() };
+    let mut server = MuxServer::bind("127.0.0.1:0", core, config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            server.run(&stop, Duration::from_millis(1)).expect("event loop");
+            server
+        })
+    };
+
+    // Every connection replays the same recorded epochs: the load is in the fan-in, not in
+    // trajectory diversity.
+    let taxi = TaxiConfig {
+        domain: 4_000.0,
+        speed_limit: 9.0,
+        timestamps: epochs + 1,
+        ..TaxiConfig::default()
+    };
+    let group: Vec<Trajectory> =
+        (0..group_size).map(|i| taxi_trajectory(&taxi, 7_000 + i as u64)).collect();
+    let mut feed = TrajectoryFeed::new(group);
+    let mut shared_epochs: Vec<Vec<Point>> = Vec::with_capacity(epochs + 1);
+    while let Some(positions) = feed.next_epoch() {
+        shared_epochs.push(positions);
+    }
+    let shared_epochs = Arc::new(shared_epochs);
+
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let shared_epochs = Arc::clone(&shared_epochs);
+            let barrier = Arc::clone(&barrier);
+            let slice = conns / threads + usize::from(t < conns % threads);
+            thread::spawn(move || client_thread(addr, slice, group_size, &shared_epochs, &barrier))
+        })
+        .collect();
+
+    barrier.wait(); // All connections registered; the measured phase starts now.
+    let t0 = Instant::now();
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * epochs);
+    let mut regions = 0usize;
+    for worker in workers {
+        let outcome = worker.join().expect("client thread");
+        latencies_ms.extend(outcome.latencies_ms);
+        regions += outcome.regions;
+    }
+    let elapsed = t0.elapsed();
+
+    stop.store(true, Ordering::Relaxed);
+    let server = server_thread.join().expect("event loop thread");
+    let stats = *server.stats();
+    assert_eq!(stats.accepted as usize, conns, "every connection was accepted");
+    assert_eq!(server.core().engine().group_count(), 0, "every session deregistered");
+    assert!(regions > 0, "the load produced real safe-region traffic");
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+    let (p50, p99, max) = (pct(0.50), pct(0.99), *latencies_ms.last().expect("samples"));
+
+    let requests = conns * epochs;
+    let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
+    let requests_per_sec = requests as f64 / elapsed.as_secs_f64();
+    let ticks_per_sec = stats.ticks as f64 / elapsed.as_secs_f64();
+
+    println!(
+        "\n{} report round-trips over {} connections in {:.1} ms on one event-loop thread",
+        requests, conns, elapsed_ms
+    );
+    println!(
+        "throughput: {requests_per_sec:.0} requests/s, {ticks_per_sec:.0} engine ticks/s \
+         ({} ticks total)",
+        stats.ticks
+    );
+    println!("notification latency: p50 {p50:.3} ms, p99 {p99:.3} ms, max {max:.3} ms");
+    println!(
+        "wire: {} B uplink, {} B downlink, {} responses, {} safe regions",
+        stats.bytes_in, stats.bytes_out, stats.responses, regions
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"mux_loadgen\",\n  \"pr\": 6,\n  \"connections\": {conns},\n  \
+         \"epochs_per_client\": {epochs},\n  \"group_size\": {group_size},\n  \
+         \"shards\": {shards},\n  \"client_threads\": {threads},\n  \
+         \"elapsed_ms\": {elapsed_ms:.1},\n  \"requests\": {requests},\n  \
+         \"requests_per_sec\": {requests_per_sec:.1},\n  \"engine_ticks\": {ticks},\n  \
+         \"ticks_per_sec\": {ticks_per_sec:.1},\n  \"latency_ms\": {{\n    \
+         \"p50\": {p50:.3},\n    \"p99\": {p99:.3},\n    \"max\": {max:.3}\n  }}\n}}\n",
+        ticks = stats.ticks,
+    );
+    let mut file = std::fs::File::create(&out_path).expect("create bench output");
+    file.write_all(json.as_bytes()).expect("write bench output");
+    println!("\nwrote {out_path}");
+}
+
+struct WorkerOutcome {
+    latencies_ms: Vec<f64>,
+    regions: usize,
+}
+
+/// Drives `count` lock-step connections: register all, wait at the barrier, stream every
+/// epoch (timing each round-trip), deregister all.
+fn client_thread(
+    addr: std::net::SocketAddr,
+    count: usize,
+    group_size: usize,
+    epochs: &[Vec<Point>],
+    barrier: &Barrier,
+) -> WorkerOutcome {
+    let config = WireConfig {
+        objective: WireObjective::Max,
+        method: WireMethod::Circle,
+        compress_regions: true,
+        persist_buffers: false,
+        max_timestamps: None,
+    };
+
+    let mut conns: Vec<(TcpStream, u64)> = Vec::with_capacity(count);
+    for _ in 0..count {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        stream.set_read_timeout(Some(Duration::from_secs(300))).expect("read timeout");
+        stream
+            .write_all(&Request::Register { group_size: group_size as u32, config }.encoded())
+            .expect("send register");
+        let ack = read_batch(&mut stream).expect("registration ack");
+        let id = ack
+            .iter()
+            .find_map(|r| match r {
+                Response::Notification { group, kind: NotificationKind::Registered } => {
+                    Some(*group)
+                }
+                _ => None,
+            })
+            .expect("registered id");
+        conns.push((stream, id));
+    }
+
+    barrier.wait();
+    let mut latencies_ms = Vec::with_capacity(count * epochs.len().saturating_sub(1));
+    let mut regions = 0usize;
+    let mut sent_at = vec![Instant::now(); count];
+    for positions in epochs.iter().take(epochs.len() - 1) {
+        // Fan the epoch out over every connection first, then collect the batches: the
+        // server sees genuine multiplexed fan-in, not one isolated socket at a time.
+        for (i, (stream, id)) in conns.iter_mut().enumerate() {
+            sent_at[i] = Instant::now();
+            stream
+                .write_all(&Request::Report { group: *id, positions: positions.clone() }.encoded())
+                .expect("send report");
+        }
+        for (i, (stream, _)) in conns.iter_mut().enumerate() {
+            let batch = read_batch(stream).expect("epoch downlink");
+            latencies_ms.push(sent_at[i].elapsed().as_secs_f64() * 1_000.0);
+            regions += batch.iter().filter(|r| matches!(r, Response::SafeRegion { .. })).count();
+        }
+    }
+
+    for (stream, id) in &mut conns {
+        stream.write_all(&Request::Deregister { group: *id }.encoded()).expect("send deregister");
+        let farewell = read_batch(stream).expect("deregistration ack");
+        assert!(farewell.contains(&Response::Notification {
+            group: *id,
+            kind: NotificationKind::Deregistered
+        }));
+    }
+    WorkerOutcome { latencies_ms, regions }
+}

@@ -1,36 +1,37 @@
 //! Network monitoring: the Fig. 3 client/server protocol, for real.
 //!
-//! Two demonstrations of the `mpn-proto` + `MonitoringServer` stack:
+//! Three demonstrations of the `mpn-proto` + `ServerCore` stack — the three front-end paths
+//! described in `mpn-net`'s crate docs:
 //!
 //! 1. **In-process** — a front-end drains decoded `Request`s straight into sharded engine
 //!    ticks: two phone groups register with different objectives/methods, stream their
 //!    epochs, and receive probe requests and safe-region assignments back.
-//! 2. **Loopback TCP** — the same protocol over `std::net::TcpStream` using the compact
-//!    length-prefixed binary codec: a server thread accepts one client, decodes uplink
-//!    frames, ticks the engine, and writes the downlink frames back.  The client registers,
-//!    reports its epochs, and deregisters — the full register → report → notification round
-//!    trip on a real socket.
+//! 2. **Blocking TCP** — the same protocol over `std::net::TcpStream` using
+//!    `mpn::net::serve_blocking`: one thread, one connection, whole-frame blocking reads,
+//!    responses under the count-prefixed batch envelope.
+//! 3. **Multiplexed** — `mpn::net::MuxServer`: one event-loop thread serving many concurrent
+//!    lock-step clients over non-blocking sockets, all sharing one engine.
 //!
 //! Over the socket each uplink request is answered with a 4-byte little-endian response
-//! count followed by that many response frames — a minimal example-level envelope so the
-//! client knows when an epoch's downlink is complete (a quiet epoch legitimately produces
-//! zero responses).
+//! count followed by that many response frames (`mpn::net::read_batch`) — the count makes
+//! quiet epochs observable, so lock-step clients never guess from read timeouts.
 //!
 //! Run with: `cargo run --release --example network_monitoring`
 
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
+use std::time::Duration;
 
 use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::proto::{
-    read_frame, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
-};
-use mpn::sim::{MonitoringServer, TrajectoryFeed};
+use mpn::net::{read_batch, serve_blocking, MuxConfig, MuxServer};
+use mpn::proto::{NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective};
+use mpn::sim::{MonitoringServer, ServerCore, TrajectoryFeed};
 
 /// Epochs each client streams before deregistering.
 const EPOCHS: usize = 150;
@@ -43,15 +44,20 @@ fn main() {
     let tree = Arc::new(RTree::bulk_load(&pois));
 
     in_process_demo(Arc::clone(&tree));
-    tcp_demo(tree);
+    blocking_tcp_demo(Arc::clone(&tree));
+    multiplexed_demo(tree);
 }
 
 /// A moving group as a protocol client sees it: a recording it reports epoch by epoch.
 fn phone_group(seed: u64, size: usize) -> TrajectoryFeed {
+    phone_group_epochs(seed, size, EPOCHS)
+}
+
+fn phone_group_epochs(seed: u64, size: usize, epochs: usize) -> TrajectoryFeed {
     let taxi = TaxiConfig {
         domain: 4_000.0,
         speed_limit: 9.0,
-        timestamps: EPOCHS,
+        timestamps: epochs,
         ..TaxiConfig::default()
     };
     let group: Vec<Trajectory> =
@@ -186,55 +192,11 @@ fn in_process_demo(tree: Arc<RTree>) {
 }
 
 // ---------------------------------------------------------------------------------------
-// Loopback TCP
+// Loopback TCP, blocking path
 // ---------------------------------------------------------------------------------------
 
-/// Serves one client connection: decode uplink frames, tick, write the downlink back.
-fn serve_connection(mut stream: TcpStream, tree: Arc<RTree>) -> std::io::Result<()> {
-    let mut server = MonitoringServer::new(tree, 4);
-    while let Some(frame) = read_frame(&mut stream)? {
-        let (request, _) = Request::decode(&frame)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        server.enqueue(request);
-        let responses = server.process();
-        stream.write_all(&u32::try_from(responses.len()).expect("batch fits u32").to_le_bytes())?;
-        for response in &responses {
-            stream.write_all(&response.encoded())?;
-        }
-    }
-    Ok(())
-}
-
-/// Reads one response batch (count header + frames) off the socket.
-fn recv_batch(stream: &mut TcpStream) -> std::io::Result<Vec<Response>> {
-    let mut count_bytes = [0u8; 4];
-    stream.read_exact(&mut count_bytes)?;
-    let count = u32::from_le_bytes(count_bytes) as usize;
-    let mut responses = Vec::with_capacity(count);
-    for _ in 0..count {
-        let frame = read_frame(stream)?.ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "stream closed mid-batch")
-        })?;
-        let (response, _) = Response::decode(&frame)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        responses.push(response);
-    }
-    Ok(responses)
-}
-
-fn tcp_demo(tree: Arc<RTree>) {
-    println!("== Loopback TCP: the same protocol over a real socket ==\n");
-    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let addr = listener.local_addr().expect("local addr");
-    let server_thread = thread::spawn(move || {
-        let (stream, peer) = listener.accept().expect("accept the demo client");
-        println!("server: accepted {peer}");
-        serve_connection(stream, tree).expect("serve the demo client");
-        println!("server: client disconnected, shutting down");
-    });
-
-    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
-    let mut feed = phone_group(3_000, 3);
+/// Registers, streams `feed` to the end, deregisters — the full lock-step client lifetime.
+fn lock_step_session(stream: &mut TcpStream, mut feed: TrajectoryFeed) -> (Downlink, usize) {
     let config = WireConfig {
         objective: WireObjective::Max,
         method: WireMethod::Tile,
@@ -242,40 +204,114 @@ fn tcp_demo(tree: Arc<RTree>) {
         persist_buffers: false,
         max_timestamps: None,
     };
-
-    // Register → the server assigns a group id.
     stream
         .write_all(&Request::Register { group_size: feed.group_size() as u32, config }.encoded())
         .expect("send register");
-    let responses = recv_batch(&mut stream).expect("registration ack");
-    let id = registered_id(&responses);
-    println!("client: registered as group {id} at {addr}");
+    let id = registered_id(&read_batch(stream).expect("registration ack"));
 
-    // Report every epoch; collect the downlink.
     let mut tally = Downlink::default();
     let mut wire_bytes = 0usize;
-    for _ in 0..EPOCHS {
-        let positions = feed.next_epoch().expect("the recording covers every epoch");
+    while let Some(positions) = feed.next_epoch() {
         let frame = Request::Report { group: id, positions }.encoded();
         wire_bytes += frame.len();
         stream.write_all(&frame).expect("send report");
-        tally.absorb(&recv_batch(&mut stream).expect("epoch downlink"));
+        tally.absorb(&read_batch(stream).expect("epoch downlink"));
     }
-    assert!(tally.assignments > 0, "the round trip must deliver safe-region notifications");
-    println!(
-        "client: {} epochs streamed ({} uplink bytes): {} updates, {} probes, {} safe regions",
-        EPOCHS, wire_bytes, tally.epochs_with_update, tally.probes, tally.assignments
-    );
 
-    // Deregister and disconnect; the server thread exits on EOF.
     stream.write_all(&Request::Deregister { group: id }.encoded()).expect("send deregister");
-    let farewell = recv_batch(&mut stream).expect("deregistration ack");
+    let farewell = read_batch(stream).expect("deregistration ack");
     assert!(
         farewell
             .contains(&Response::Notification { group: id, kind: NotificationKind::Deregistered }),
         "the server must acknowledge the deregistration"
     );
+    (tally, wire_bytes)
+}
+
+fn blocking_tcp_demo(tree: Arc<RTree>) {
+    println!("== Loopback TCP, blocking path: one thread, one connection ==\n");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server_thread = thread::spawn(move || {
+        let (mut stream, peer) = listener.accept().expect("accept the demo client");
+        println!("server: accepted {peer}");
+        let mut core = ServerCore::new(tree, 4);
+        serve_blocking(&mut stream, &mut core, 1).expect("serve the demo client");
+        println!("server: client disconnected, shutting down");
+    });
+
+    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
+    let (tally, wire_bytes) = lock_step_session(&mut stream, phone_group(3_000, 3));
+    println!(
+        "client: {} epochs streamed ({} uplink bytes): {} updates, {} probes, {} safe regions",
+        EPOCHS, wire_bytes, tally.epochs_with_update, tally.probes, tally.assignments
+    );
     println!("client: deregistered cleanly");
     drop(stream);
     server_thread.join().expect("server thread exits cleanly");
+}
+
+// ---------------------------------------------------------------------------------------
+// Loopback TCP, multiplexed path
+// ---------------------------------------------------------------------------------------
+
+fn multiplexed_demo(tree: Arc<RTree>) {
+    const CLIENTS: usize = 12;
+    const MUX_EPOCHS: usize = 60;
+
+    println!("\n== Loopback TCP, multiplexed: one event loop, {CLIENTS} concurrent clients ==\n");
+    let core = ServerCore::new(tree, 4);
+    let mut server =
+        MuxServer::bind("127.0.0.1:0", core, MuxConfig::default()).expect("bind mux loopback");
+    let addr = server.local_addr().expect("local addr");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let server_thread = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            server.run(&stop, Duration::from_millis(1)).expect("event loop");
+            server
+        })
+    };
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect to mux server");
+                stream.set_nodelay(true).expect("nodelay");
+                lock_step_session(
+                    &mut stream,
+                    phone_group_epochs(10_000 + 100 * i as u64, 3, MUX_EPOCHS),
+                )
+            })
+        })
+        .collect();
+
+    let mut total = Downlink::default();
+    for client in clients {
+        let (tally, _) = client.join().expect("client thread");
+        total.probes += tally.probes;
+        total.assignments += tally.assignments;
+        total.epochs_with_update += tally.epochs_with_update;
+    }
+    stop.store(true, Ordering::Relaxed);
+    let server = server_thread.join().expect("event loop thread");
+
+    let stats = server.stats();
+    println!(
+        "event loop: {} conns accepted, {} requests in {} ticks, {} responses, {} B in / {} B out",
+        stats.accepted,
+        stats.requests,
+        stats.ticks,
+        stats.responses,
+        stats.bytes_in,
+        stats.bytes_out
+    );
+    println!(
+        "clients: {} updates, {} probes, {} safe regions across {CLIENTS} concurrent sessions",
+        total.epochs_with_update, total.probes, total.assignments
+    );
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert_eq!(server.core().engine().group_count(), 0, "every session deregistered");
+    println!("\nall {CLIENTS} clients deregistered cleanly; engine is empty");
 }

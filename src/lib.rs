@@ -17,7 +17,9 @@
 //! * [`mobility`] — trajectory and POI workload generators.
 //! * [`proto`] — the wire-shaped client/server protocol (requests, responses, binary codec).
 //! * [`sim`] — owned, message-driven monitoring sessions, the sharded engine, the
-//!   `MonitoringServer` protocol front-end and message/packet accounting.
+//!   `ServerCore`/`MonitoringServer` protocol front-end and message/packet accounting.
+//! * [`net`] — the network front-ends over that core: a blocking per-connection loop and
+//!   the readiness-driven multiplexed event loop (one thread, thousands of sockets).
 //!
 //! ## Quickstart
 //!
@@ -45,5 +47,6 @@ pub use mpn_core as core;
 pub use mpn_geom as geom;
 pub use mpn_index as index;
 pub use mpn_mobility as mobility;
+pub use mpn_net as net;
 pub use mpn_proto as proto;
 pub use mpn_sim as sim;
