@@ -8,7 +8,7 @@
 //! current extent of the safe regions (Algorithm 5).
 
 use mpn_geom::Point;
-use mpn_index::{GnnSearch, PoiEntry, QueryStats, RTree};
+use mpn_index::{IndexView, PoiEntry, QueryStats};
 
 use crate::Objective;
 
@@ -27,12 +27,18 @@ impl BufferSet {
     /// Builds the buffer by retrieving the best `b + 1` GNNs of the group (one R-tree query).
     ///
     /// # Panics
-    /// Panics if the tree or the user group is empty.
+    /// Panics if the view or the user group is empty.
     #[must_use]
-    pub fn build(tree: &RTree, users: &[Point], objective: Objective, b: usize) -> Self {
-        assert!(!tree.is_empty() && !users.is_empty(), "buffer needs data and users");
+    pub fn build<'a>(
+        tree: impl Into<IndexView<'a>>,
+        users: &[Point],
+        objective: Objective,
+        b: usize,
+    ) -> Self {
+        let view = tree.into();
+        assert!(!view.is_empty() && !users.is_empty(), "buffer needs data and users");
         let b = b.max(1);
-        let (neighbors, stats) = GnnSearch::new(tree, users, objective.aggregate()).top_k(b + 1);
+        let (neighbors, stats) = view.top_k(users, objective.aggregate(), b + 1);
         let best = neighbors[0].dist;
         let denom = match objective {
             Objective::Max => 2.0,
@@ -91,6 +97,7 @@ impl BufferSet {
 mod tests {
     use super::*;
     use mpn_geom::max_dist_to_set;
+    use mpn_index::RTree;
 
     fn world() -> (RTree, Vec<Point>) {
         let pois: Vec<Point> =

@@ -5,7 +5,7 @@
 //! meeting points: Theorem 1 for the MAX objective, Theorem 5 for the SUM objective.
 
 use mpn_geom::{Circle, Point};
-use mpn_index::{GnnNeighbor, GnnSearch, QueryStats, RTree};
+use mpn_index::{GnnNeighbor, IndexView, QueryStats};
 
 use crate::Objective;
 
@@ -48,22 +48,26 @@ pub fn maximal_circle_radius(
     }
 }
 
-/// Runs Circle-MSR (Algorithm 1) over the POI tree for the given user group.
+/// Runs Circle-MSR (Algorithm 1) over the POI view for the given user group.
+///
+/// Accepts anything convertible to an [`IndexView`]: a plain `&RTree` or a mutable-world
+/// view carrying a delta overlay.
 ///
 /// # Panics
-/// Panics when the tree is empty or the user group is empty — there is no meeting point to
+/// Panics when the view is empty or the user group is empty — there is no meeting point to
 /// monitor in either case.
 #[must_use]
-pub fn circle_msr(
-    tree: &RTree,
+pub fn circle_msr<'a>(
+    tree: impl Into<IndexView<'a>>,
     users: &[Point],
     objective: Objective,
     radius_cap: f64,
 ) -> CircleMsr {
-    assert!(!tree.is_empty(), "Circle-MSR requires a non-empty POI set");
+    let view = tree.into();
+    assert!(!view.is_empty(), "Circle-MSR requires a non-empty POI set");
     assert!(!users.is_empty(), "Circle-MSR requires at least one user");
 
-    let (top2, stats) = GnnSearch::new(tree, users, objective.aggregate()).top_k(2);
+    let (top2, stats) = view.top_k(users, objective.aggregate(), 2);
     let optimal = top2[0];
     let runner_up = top2.get(1).copied();
     let radius = runner_up
@@ -80,6 +84,7 @@ pub fn circle_msr(
 mod tests {
     use super::*;
     use mpn_geom::{max_dist_to_set, sum_dist_to_set, DistanceBounds};
+    use mpn_index::RTree;
 
     fn small_world() -> (RTree, Vec<Point>) {
         let pois = vec![

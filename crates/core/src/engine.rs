@@ -19,7 +19,7 @@
 use std::fmt;
 
 use mpn_geom::Point;
-use mpn_index::RTree;
+use mpn_index::IndexView;
 
 use crate::circle::{circle_msr, DEFAULT_RADIUS_CAP};
 use crate::region::SafeRegion;
@@ -28,23 +28,25 @@ use crate::session::SessionState;
 use crate::tile::{tile_msr_cached, TileMsr, TileMsrConfig};
 use crate::{ComputeStats, Objective};
 
-/// Everything an engine needs from the server: the POI index and the objective.
+/// Everything an engine needs from the server: the POI index view and the objective.
 ///
 /// Borrowed per call so one engine instance can serve many trees and objectives (and so
-/// engines stay `Send + Sync` for the sharded monitoring engine).
+/// engines stay `Send + Sync` for the sharded monitoring engine).  The view is an
+/// [`IndexView`]: a plain `&RTree` converts directly, a mutable world contributes its
+/// overlay and logical generation.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineContext<'a> {
-    /// The POI index queried for meeting points and verification candidates.
-    pub tree: &'a RTree,
+    /// The POI index view queried for meeting points and verification candidates.
+    pub tree: IndexView<'a>,
     /// MAX (MPN) or SUM (Sum-MPN).
     pub objective: Objective,
 }
 
 impl<'a> EngineContext<'a> {
-    /// Creates a context over the POI tree.
+    /// Creates a context over the POI view (a `&RTree`, `&Arc<RTree>` or `&WorldView`).
     #[must_use]
-    pub fn new(tree: &'a RTree, objective: Objective) -> Self {
-        Self { tree, objective }
+    pub fn new(tree: impl Into<IndexView<'a>>, objective: Objective) -> Self {
+        Self { tree: tree.into(), objective }
     }
 }
 
@@ -85,7 +87,7 @@ pub trait SafeRegionEngine: fmt::Debug + Send + Sync {
     ) -> &'s Answer {
         let headings = session.predicted_headings();
         let answer = self.compute_stateless(ctx, users, Some(&headings));
-        session.record_answer(answer)
+        session.record_answer(answer, ctx.tree.generation())
     }
 }
 
@@ -199,7 +201,7 @@ impl SafeRegionEngine for TileEngine {
         } else {
             self.compute_stateless(ctx, users, Some(&headings))
         };
-        session.record_answer(answer)
+        session.record_answer(answer, ctx.tree.generation())
     }
 }
 
@@ -207,6 +209,7 @@ impl SafeRegionEngine for TileEngine {
 mod tests {
     use super::*;
     use crate::server::{Method, MpnServer};
+    use mpn_index::RTree;
 
     fn world() -> (RTree, Vec<Point>) {
         let pois: Vec<Point> =

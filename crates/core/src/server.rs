@@ -14,7 +14,7 @@
 //! across updates.
 
 use mpn_geom::Point;
-use mpn_index::RTree;
+use mpn_index::IndexView;
 
 use crate::circle::DEFAULT_RADIUS_CAP;
 use crate::engine::{CircleEngine, EngineContext, SafeRegionEngine, TileEngine};
@@ -139,17 +139,17 @@ impl Answer {
 /// (`compute` sits in hot loops, so no per-call boxing).
 #[derive(Debug)]
 pub struct MpnServer<'a> {
-    tree: &'a RTree,
+    view: IndexView<'a>,
     objective: Objective,
     method: Method,
     engine: Box<dyn SafeRegionEngine>,
 }
 
 impl<'a> MpnServer<'a> {
-    /// Creates a server over the POI tree.
+    /// Creates a server over the POI index (a `&RTree`, `&Arc<RTree>` or `&WorldView`).
     #[must_use]
-    pub fn new(tree: &'a RTree, objective: Objective, method: Method) -> Self {
-        Self { tree, objective, method, engine: method.engine() }
+    pub fn new(tree: impl Into<IndexView<'a>>, objective: Objective, method: Method) -> Self {
+        Self { view: tree.into(), objective, method, engine: method.engine() }
     }
 
     /// The configured objective.
@@ -164,10 +164,10 @@ impl<'a> MpnServer<'a> {
         self.method
     }
 
-    /// The POI index served.
+    /// The POI index view served.
     #[must_use]
-    pub fn tree(&self) -> &RTree {
-        self.tree
+    pub fn view(&self) -> IndexView<'a> {
+        self.view
     }
 
     /// Computes the optimal meeting point and safe regions for the current user locations.
@@ -204,13 +204,14 @@ impl<'a> MpnServer<'a> {
     }
 
     fn context(&self) -> EngineContext<'a> {
-        EngineContext::new(self.tree, self.objective)
+        EngineContext::new(self.view, self.objective)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mpn_index::RTree;
 
     fn world() -> (RTree, Vec<Point>) {
         let pois: Vec<Point> =

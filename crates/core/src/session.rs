@@ -12,6 +12,7 @@ use mpn_geom::{HeadingPredictor, Point};
 
 use crate::server::Answer;
 use crate::tile::BufferCache;
+use crate::Objective;
 
 /// Mutable per-group state owned by the server between safe-region computations.
 #[derive(Debug, Clone)]
@@ -21,6 +22,9 @@ pub struct SessionState {
     buffer: Option<BufferCache>,
     buffer_builds: usize,
     last_answer: Option<Answer>,
+    /// [`IndexView::generation`](mpn_index::IndexView::generation) of the POI content the
+    /// last answer was computed against, used by the world-change invalidation pass.
+    answer_generation: Option<u64>,
 }
 
 impl SessionState {
@@ -40,6 +44,7 @@ impl SessionState {
             buffer: None,
             buffer_builds: 0,
             last_answer: None,
+            answer_generation: None,
         }
     }
 
@@ -116,13 +121,74 @@ impl SessionState {
     pub fn reclaim(&mut self) {
         self.buffer = None;
         self.last_answer = None;
+        self.answer_generation = None;
+    }
+
+    /// The world generation the last answer was computed against, `None` before the first
+    /// computation (or after [`reclaim`](SessionState::reclaim)).
+    #[must_use]
+    pub fn answer_generation(&self) -> Option<u64> {
+        self.answer_generation
+    }
+
+    /// Whether deleting POI `poi` can break this session's current safe regions.
+    ///
+    /// Per Definition 3, the regions stay valid as long as the recorded optimum remains the
+    /// group's best meeting point everywhere inside them.  Removing a POI can only change
+    /// that verdict when the POI *participates* in the answer: it is the optimum itself, or
+    /// it sits in the cached §5.4 GNN buffer whose prefix ladder the next verification would
+    /// consult.  Deleting any other POI only removes a runner-up that was already beaten, so
+    /// the regions — and the cached buffer thresholds, which remain conservative when a
+    /// competitor disappears — stay sound.
+    ///
+    /// Sessions without a recorded answer have nothing to invalidate.
+    #[must_use]
+    pub fn delete_invalidates(&self, poi: usize) -> bool {
+        let Some(answer) = self.last_answer.as_ref() else {
+            return false;
+        };
+        answer.optimal_index == poi
+            || self.buffer.as_ref().is_some_and(|cache| cache.references(poi))
+    }
+
+    /// Whether inserting a POI at `location` can break this session's current safe regions.
+    ///
+    /// The insert is dangerous exactly when some placement of the users inside their safe
+    /// regions could prefer the new point over the recorded optimum `pᵒ`.  A conservative
+    /// (sound) test compares the best case of the new point against the worst case of the
+    /// optimum over the regions: if the aggregate of per-region *minimum* distances to
+    /// `location` is below the aggregate of per-region *maximum* distances to `pᵒ`, a
+    /// breaking placement may exist and the session must recompute.  Any true witness `U*`
+    /// inside the regions satisfies `agg_min(q) ≤ agg(q, U*) < agg(pᵒ, U*) ≤ agg_max(pᵒ)`,
+    /// so no breaking insert is ever missed.
+    #[must_use]
+    pub fn insert_invalidates(&self, location: Point, objective: Objective) -> bool {
+        let Some(answer) = self.last_answer.as_ref() else {
+            return false;
+        };
+        if answer.regions.is_empty() {
+            return false;
+        }
+        let bounds = answer
+            .regions
+            .iter()
+            .map(|region| (region.min_dist(location), region.max_dist(answer.optimal_point)));
+        let (lower_new, upper_opt) = match objective {
+            Objective::Max => bounds.fold((f64::NEG_INFINITY, f64::NEG_INFINITY), |acc, b| {
+                (acc.0.max(b.0), acc.1.max(b.1))
+            }),
+            Objective::Sum => bounds.fold((0.0, 0.0), |acc, b| (acc.0 + b.0, acc.1 + b.1)),
+        };
+        lower_new < upper_opt
     }
 
     /// Stores the answer of a completed computation and returns a reference to it (called by
     /// the engines).  Taking the answer by value avoids cloning the per-user region vectors
     /// on every update — the legacy loop kept a single answer by value, and this sits inside
     /// the section whose duration is reported as the paper's "CPU time per computation".
-    pub(crate) fn record_answer(&mut self, answer: Answer) -> &Answer {
+    /// `generation` stamps which world content the answer is valid for.
+    pub(crate) fn record_answer(&mut self, answer: Answer, generation: u64) -> &Answer {
+        self.answer_generation = Some(generation);
         self.last_answer.insert(answer)
     }
 
@@ -175,16 +241,60 @@ mod tests {
             regions: Vec::new(),
             stats: crate::ComputeStats::default(),
         };
-        session.record_answer(answer);
+        session.record_answer(answer, 7);
         assert!(session.last_answer().is_some());
+        assert_eq!(session.answer_generation(), Some(7));
         session.reclaim();
         assert!(session.last_answer().is_none(), "reclaim drops the last answer");
+        assert!(session.answer_generation().is_none(), "reclaim drops the generation stamp");
         assert!(!session.has_cached_buffer(), "reclaim drops any cached buffer");
         assert_eq!(session.group_size(), 2);
         assert!(
             session.predicted_headings().iter().all(Option::is_some),
             "heading predictors stay warm across reclaim"
         );
+    }
+
+    fn answer_with_regions() -> Answer {
+        // Optimum is POI 3 at (0, 0); one circular region of radius 1 around each user.
+        Answer {
+            optimal_index: 3,
+            optimal_point: Point::ORIGIN,
+            regions: vec![
+                crate::SafeRegion::Circle(mpn_geom::Circle::new(Point::new(2.0, 0.0), 1.0)),
+                crate::SafeRegion::Circle(mpn_geom::Circle::new(Point::new(-2.0, 0.0), 1.0)),
+            ],
+            optimal_dist: 2.0,
+            stats: crate::ComputeStats::default(),
+        }
+    }
+
+    #[test]
+    fn delete_invalidates_only_participating_pois() {
+        let mut session = SessionState::new(2, 0.3);
+        assert!(!session.delete_invalidates(3), "no answer, nothing to invalidate");
+        session.record_answer(answer_with_regions(), 1);
+        assert!(session.delete_invalidates(3), "deleting the optimum breaks the regions");
+        assert!(!session.delete_invalidates(99), "a beaten runner-up never breaks them");
+    }
+
+    #[test]
+    fn insert_invalidates_matches_the_bound_comparison() {
+        let mut session = SessionState::new(2, 0.3);
+        let far = Point::new(500.0, 500.0);
+        assert!(!session.insert_invalidates(far, Objective::Max), "no answer yet");
+        session.record_answer(answer_with_regions(), 1);
+        // Worst case of the optimum over the regions: max distance is 3 per user.
+        // A far-away point can never undercut it; a point at the origin always can.
+        assert!(!session.insert_invalidates(far, Objective::Max));
+        assert!(!session.insert_invalidates(far, Objective::Sum));
+        assert!(session.insert_invalidates(Point::ORIGIN, Objective::Max));
+        assert!(session.insert_invalidates(Point::ORIGIN, Objective::Sum));
+        // The boundary case: min-dist aggregate equal to the max-dist aggregate is safe.
+        // For MAX: upper_opt = 3.0; a candidate whose closest approach is exactly 3.0 from
+        // both regions (e.g. (6, 0): min dist to the right region is 3.0, to the left 7.0)
+        // yields lower_new = 7.0 > 3.0 → safe.
+        assert!(!session.insert_invalidates(Point::new(6.0, 0.0), Objective::Max));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! and the buffering optimisation (Section 5.4, Algorithm 5).
 
 use mpn_geom::{DistanceBounds, Point, Square};
-use mpn_index::{GnnNeighbor, PoiEntry, RTree};
+use mpn_index::{GnnNeighbor, IndexView, PoiEntry};
 
 use crate::buffer::BufferSet;
 use crate::circle::{circle_msr, DEFAULT_RADIUS_CAP};
@@ -97,29 +97,30 @@ pub struct BufferCache {
     objective: Objective,
     /// The buffering parameter `b` the set was built with.
     b: usize,
-    /// [`RTree::generation`] of the tree the buffer was queried from: a process-unique stamp
-    /// refreshed on every construction and mutation, so a different or modified tree is
-    /// detected exactly, never probabilistically.
+    /// [`IndexView::generation`] of the view the buffer was queried from: a process-unique
+    /// stamp refreshed on every construction and mutation (for a mutable world, its
+    /// *logical* generation — preserved across compaction), so a different or modified POI
+    /// set is detected exactly, never probabilistically.
     tree_generation: u64,
 }
 
 impl BufferCache {
     /// Whether this buffer may serve a computation for the given current state.
     ///
-    /// Reuse is allowed only when the cache was built for the same POI tree, objective and
-    /// buffer size, the group shape is unchanged, the optimal meeting point is still the one
-    /// the ladder was derived from, and no user has strayed beyond half the largest threshold
-    /// from her anchor location (a heuristic that rebuilds before the ladder degenerates into
-    /// rejecting every tile).
+    /// Reuse is allowed only when the cache was built from the same POI content (by logical
+    /// generation), objective and buffer size, the group shape is unchanged, the optimal
+    /// meeting point is still the one the ladder was derived from, and no user has strayed
+    /// beyond half the largest threshold from her anchor location (a heuristic that rebuilds
+    /// before the ladder degenerates into rejecting every tile).
     fn reusable_for(
         &self,
-        tree: &RTree,
+        generation: u64,
         users: &[Point],
         objective: Objective,
         b: usize,
         optimal_id: usize,
     ) -> bool {
-        self.tree_generation == tree.generation()
+        self.tree_generation == generation
             && self.objective == objective
             && self.b == b
             && self.anchors.len() == users.len()
@@ -128,6 +129,15 @@ impl BufferCache {
                 .iter()
                 .zip(&self.anchors)
                 .all(|(u, anchor)| u.dist(*anchor) <= 0.5 * self.set.beta())
+    }
+
+    /// Whether the buffered prefix contains the given POI (as the optimum or a candidate).
+    ///
+    /// Deleting a buffered POI can break the threshold ladder (Definition 6 ranks real
+    /// neighbours), so the world-change invalidation pass treats any referenced deletion as
+    /// breaking the session's cached state.
+    pub(crate) fn references(&self, poi: usize) -> bool {
+        self.set.optimal().id == poi || self.set.all_candidates().iter().any(|e| e.id == poi)
     }
 }
 
@@ -157,8 +167,8 @@ pub struct TileMsr {
 /// # Panics
 /// Panics when the tree or the user group is empty.
 #[must_use]
-pub fn tile_msr(
-    tree: &RTree,
+pub fn tile_msr<'a>(
+    tree: impl Into<IndexView<'a>>,
     users: &[Point],
     objective: Objective,
     config: &TileMsrConfig,
@@ -179,15 +189,16 @@ pub fn tile_msr(
 /// # Panics
 /// Panics when the tree or the user group is empty.
 #[must_use]
-pub fn tile_msr_cached(
-    tree: &RTree,
+pub fn tile_msr_cached<'a>(
+    tree: impl Into<IndexView<'a>>,
     users: &[Point],
     objective: Objective,
     config: &TileMsrConfig,
     headings: Option<&[Option<f64>]>,
     cache: &mut Option<BufferCache>,
 ) -> TileMsr {
-    assert!(!tree.is_empty(), "Tile-MSR requires a non-empty POI set");
+    let view = tree.into();
+    assert!(!view.is_empty(), "Tile-MSR requires a non-empty POI set");
     assert!(!users.is_empty(), "Tile-MSR requires at least one user");
     if let Some(h) = headings {
         assert_eq!(h.len(), users.len(), "one heading slot per user");
@@ -196,7 +207,7 @@ pub fn tile_msr_cached(
     let mut stats = ComputeStats::default();
 
     // Lines 1-2: seed with Circle-MSR; the initial tile is the maximal square inside the circle.
-    let seed = circle_msr(tree, users, objective, config.radius_cap);
+    let seed = circle_msr(view, users, objective, config.radius_cap);
     stats.gnn.absorb(seed.stats);
     stats.rtree_queries += 1;
     let delta = std::f64::consts::SQRT_2 * seed.radius;
@@ -224,10 +235,11 @@ pub fn tile_msr_cached(
     // still-valid persistent cache skips even that query.
     let mut built_buffer = false;
     let buffer: Option<&BufferCache> = if let Some(b) = config.buffering {
-        let reusable =
-            cache.as_ref().is_some_and(|c| c.reusable_for(tree, users, objective, b, p_opt.id));
+        let reusable = cache
+            .as_ref()
+            .is_some_and(|c| c.reusable_for(view.generation(), users, objective, b, p_opt.id));
         if !reusable {
-            let set = BufferSet::build(tree, users, objective, b);
+            let set = BufferSet::build(view, users, objective, b);
             stats.gnn.absorb(set.stats);
             stats.rtree_queries += 1;
             built_buffer = true;
@@ -236,7 +248,7 @@ pub fn tile_msr_cached(
                 anchors: users.to_vec(),
                 objective,
                 b,
-                tree_generation: tree.generation(),
+                tree_generation: view.generation(),
             });
         }
         cache.as_ref()
@@ -265,7 +277,7 @@ pub fn tile_msr_cached(
         for i in 0..users.len() {
             while let Some(cell) = streams[i].next_cell() {
                 let accepted = try_tile(
-                    tree,
+                    view,
                     users,
                     &mut regions,
                     i,
@@ -299,7 +311,7 @@ pub fn tile_msr_cached(
 /// and runs Divide-Verify / Buffer-Divide-Verify on it.
 #[allow(clippy::too_many_arguments)]
 fn try_tile(
-    tree: &RTree,
+    view: IndexView<'_>,
     users: &[Point],
     regions: &mut [TileRegion],
     user: usize,
@@ -326,7 +338,7 @@ fn try_tile(
     } else {
         let square = regions[user].frame().square(cell);
         let candidates =
-            gather_candidates(tree, users, regions, user, &square, p_opt, objective, config, stats);
+            gather_candidates(view, users, regions, user, &square, p_opt, objective, config, stats);
         divide_verify(
             regions,
             user,
@@ -452,7 +464,7 @@ pub(crate) fn buffered_divide_verify(
 /// conservative; otherwise every POI except `pᵒ` is returned.
 #[allow(clippy::too_many_arguments)]
 fn gather_candidates(
-    tree: &RTree,
+    view: IndexView<'_>,
     users: &[Point],
     regions: &[TileRegion],
     user: usize,
@@ -463,7 +475,7 @@ fn gather_candidates(
     stats: &mut ComputeStats,
 ) -> Vec<PoiEntry> {
     if !config.index_pruning {
-        return tree.iter().filter(|e| e.id != p_opt.id).collect();
+        return view.iter().filter(|e| e.id != p_opt.id).collect();
     }
     stats.rtree_queries += 1;
 
@@ -494,12 +506,12 @@ fn gather_candidates(
                 }
             }
             let radii: Vec<f64> = reach.iter().map(|r| dominant + r).collect();
-            tree.candidates_within_user_radii(users, &radii)
+            view.candidates_within_user_radii(users, &radii)
         }
         Objective::Sum => {
             let base: f64 = users.iter().map(|u| p_opt.location.dist(*u)).sum();
             let threshold = base + 2.0 * reach.iter().sum::<f64>();
-            tree.candidates_within_sum_radius(users, threshold)
+            view.candidates_within_sum_radius(users, threshold)
         }
     };
     stats.candidate_retrieval.absorb(qstats);
@@ -510,6 +522,7 @@ fn gather_candidates(
 mod tests {
     use super::*;
     use mpn_geom::max_dist_to_set;
+    use mpn_index::RTree;
 
     fn grid_pois(n_side: usize, spacing: f64) -> Vec<Point> {
         (0..n_side * n_side)

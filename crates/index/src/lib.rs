@@ -15,11 +15,18 @@
 //! The R-tree is implemented from scratch: STR bulk loading for static POI sets, quadratic-split
 //! insertion for incremental updates, and best-first traversal with a binary heap for all
 //! distance-ranked queries.  Node accesses are counted so experiments can report index I/O.
+//!
+//! Dynamic POI sets are served by [`world`]: a [`WorldView`] wraps an immutable base tree in a
+//! generation-stamped insert/delete overlay (compacted back into the base past a threshold),
+//! and [`IndexView`] is the `Copy` query handle — over a plain tree or a world — that the
+//! engine layers consume.
 
 #![forbid(unsafe_code)]
 
 pub mod gnn;
 pub mod rtree;
+pub mod world;
 
 pub use gnn::{Aggregate, GnnNeighbor, GnnSearch};
 pub use rtree::{PoiEntry, QueryStats, RTree, RTreeConfig};
+pub use world::{IndexView, WorldView, DEFAULT_COMPACTION_THRESHOLD};

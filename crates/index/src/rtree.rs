@@ -138,8 +138,10 @@ pub struct RTree {
 }
 
 /// Process-unique stamp for [`RTree::generation`]: every construction or mutation gets a
-/// fresh value, so two trees (or two states of one tree) never share a generation.
-fn next_generation() -> u64 {
+/// fresh value, so two trees (or two states of one tree) never share a generation.  The
+/// overlay of [`crate::world::WorldView`] mints its logical generations from the same
+/// counter, so tree stamps and world stamps can never collide.
+pub(crate) fn next_generation() -> u64 {
     use std::sync::atomic::{AtomicU64, Ordering};
     static NEXT: AtomicU64 = AtomicU64::new(1);
     NEXT.fetch_add(1, Ordering::Relaxed)
@@ -404,6 +406,13 @@ impl RTree {
 
     pub(crate) fn root(&self) -> Option<&Node> {
         self.root.as_ref()
+    }
+
+    /// The id the next [`RTree::insert`] would assign (one past the largest id ever stored).
+    /// The delta overlay of [`crate::world::WorldView`] continues this numbering so overlay
+    /// inserts never collide with base ids.
+    pub(crate) fn next_id(&self) -> usize {
+        self.next_id
     }
 }
 

@@ -42,6 +42,27 @@
 //! The same disconnect path runs on EOF, on undecodable uplink bytes (framing cannot be
 //! resynchronised, so the connection is closed — requests decoded before the bad frame are
 //! still honoured), and on socket errors.
+//!
+//! # The push path (server-initiated downlink)
+//!
+//! Since the mutable world landed, downlink is no longer purely reactive: an admin client's
+//! [`Request::Admin`](mpn_proto::Request::Admin) world mutation (a POI insert or delete,
+//! gated per client by [`grant_admin`](mpn_sim::ServerCore::grant_admin), reachable on a
+//! running [`MuxServer`] via [`core_mut`](MuxServer::core_mut) between poll iterations) can
+//! force safe-region recomputations for groups owned by clients that sent **nothing** this
+//! tick.  No transport code changed for this: the core tags the resulting responses — a
+//! [`Response::WorldUpdate`](mpn_proto::Response::WorldUpdate) announcing the new world
+//! generation, then the revised `SafeRegion`s — with the affected owners, and the event
+//! loop already envelopes one batch for *every* client with pending responses, idle or not.
+//! An idle connection simply receives an unsolicited batch through its outbox, subject to
+//! the exact same backpressure contract as solicited downlink (a paused client's pushes
+//! accumulate toward its hard limit like any other traffic).  Delivery is pinned end to end
+//! by the workspace test `tests/world_mutation.rs`.
+//!
+//! Per-client ordering guarantee: the owner of an affected group always sees the
+//! `WorldUpdate` before the revised regions it announces, because the core queues the
+//! announcement during request application and the recomputed regions drain from the
+//! session event log only after the tick.
 
 #![forbid(unsafe_op_in_unsafe_fn)]
 

@@ -179,6 +179,14 @@ impl MuxServer {
         &self.core
     }
 
+    /// Mutable access to the shared core, for out-of-band administration between poll
+    /// iterations — above all [`grant_admin`](ServerCore::grant_admin): connections are
+    /// numbered from 1 in accept order, so a deployment that connects its operator console
+    /// first grants client 1 here before serving tenants.
+    pub fn core_mut(&mut self) -> &mut ServerCore {
+        &mut self.core
+    }
+
     /// Lifetime event-loop counters.
     #[must_use]
     pub fn stats(&self) -> &MuxStats {

@@ -20,7 +20,9 @@ use std::io::Read;
 use mpn_core::{SafeRegion, TileCell, TileFrame, TileRegion};
 use mpn_geom::{Circle, Point};
 
-use crate::{NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective};
+use crate::{
+    AdminRequest, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
+};
 
 /// Upper bound on a frame's declared payload length: decoders reject anything larger before
 /// allocating.  16 MiB comfortably holds any realistic epoch batch or tile region while
@@ -59,13 +61,17 @@ impl std::error::Error for DecodeError {}
 const TAG_REGISTER: u8 = 0x01;
 const TAG_REPORT: u8 = 0x02;
 const TAG_DEREGISTER: u8 = 0x03;
+const TAG_ADMIN: u8 = 0x04;
 const TAG_SAFE_REGION: u8 = 0x81;
 const TAG_PROBE_REQUEST: u8 = 0x82;
 const TAG_NOTIFICATION: u8 = 0x83;
+const TAG_WORLD_UPDATE: u8 = 0x84;
 
 // Sub-tags.
 const REGION_CIRCLE: u8 = 0;
 const REGION_TILES: u8 = 1;
+const ADMIN_POI_INSERT: u8 = 0;
+const ADMIN_POI_DELETE: u8 = 1;
 
 /// Highest subdivision level a decoded tile cell may carry.  `TileFrame::side_at` computes
 /// `δ / 2^level`, so any level ≥ 32 would overflow the shift; real regions never exceed a
@@ -314,6 +320,16 @@ impl Request {
             Request::Deregister { group } => frame(out, TAG_DEREGISTER, |out| {
                 put_u64(out, *group);
             }),
+            Request::Admin(admin) => frame(out, TAG_ADMIN, |out| match admin {
+                AdminRequest::PoiInsert { location } => {
+                    out.push(ADMIN_POI_INSERT);
+                    put_point(out, *location);
+                }
+                AdminRequest::PoiDelete { poi } => {
+                    out.push(ADMIN_POI_DELETE);
+                    put_u64(out, *poi);
+                }
+            }),
         }
     }
 
@@ -352,6 +368,11 @@ impl Request {
                 Request::Report { group, positions }
             }
             TAG_DEREGISTER => Request::Deregister { group: r.u64()? },
+            TAG_ADMIN => Request::Admin(match r.u8()? {
+                ADMIN_POI_INSERT => AdminRequest::PoiInsert { location: r.point()? },
+                ADMIN_POI_DELETE => AdminRequest::PoiDelete { poi: r.u64()? },
+                _ => return Err(DecodeError::Malformed("unknown admin command")),
+            }),
             tag => return Err(DecodeError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -382,8 +403,18 @@ impl Response {
                     NotificationKind::Deregistered => 1,
                     NotificationKind::UnknownGroup => 2,
                     NotificationKind::BadRequest => 3,
+                    NotificationKind::AdminApplied => 4,
+                    NotificationKind::AdminDenied => 5,
+                    NotificationKind::UnknownPoi => 6,
                 });
             }),
+            Response::WorldUpdate { group, generation, revised } => {
+                frame(out, TAG_WORLD_UPDATE, |out| {
+                    put_u64(out, *group);
+                    put_u64(out, *generation);
+                    put_u32(out, *revised);
+                });
+            }
         }
     }
 
@@ -419,9 +450,15 @@ impl Response {
                     1 => NotificationKind::Deregistered,
                     2 => NotificationKind::UnknownGroup,
                     3 => NotificationKind::BadRequest,
+                    4 => NotificationKind::AdminApplied,
+                    5 => NotificationKind::AdminDenied,
+                    6 => NotificationKind::UnknownPoi,
                     _ => return Err(DecodeError::Malformed("unknown notification kind")),
                 };
                 Response::Notification { group, kind }
+            }
+            TAG_WORLD_UPDATE => {
+                Response::WorldUpdate { group: r.u64()?, generation: r.u64()?, revised: r.u32()? }
             }
             tag => return Err(DecodeError::UnknownTag(tag)),
         };
@@ -576,6 +613,8 @@ mod tests {
                 positions: vec![Point::new(1.5, -2.5), Point::new(0.0, 9.75)],
             },
             Request::Deregister { group: u64::MAX },
+            Request::Admin(AdminRequest::PoiInsert { location: Point::new(-7.25, 1e9) }),
+            Request::Admin(AdminRequest::PoiDelete { poi: 123_456 }),
         ];
         for request in &requests {
             let bytes = request.encoded();
@@ -603,6 +642,10 @@ mod tests {
             Response::ProbeRequest { group: 3, user: 0 },
             Response::Notification { group: 9, kind: NotificationKind::Registered },
             Response::Notification { group: 9, kind: NotificationKind::BadRequest },
+            Response::Notification { group: 17, kind: NotificationKind::AdminApplied },
+            Response::Notification { group: 0, kind: NotificationKind::AdminDenied },
+            Response::Notification { group: 17, kind: NotificationKind::UnknownPoi },
+            Response::WorldUpdate { group: 5, generation: u64::MAX, revised: 3 },
         ];
         for response in &responses {
             let bytes = response.encoded();
@@ -664,6 +707,25 @@ mod tests {
             out.push(0xEE);
         });
         assert!(matches!(Request::decode(&padded).unwrap_err(), DecodeError::Malformed(_)));
+
+        // An unknown admin sub-command is malformed, not a new message.
+        let mut odd = Vec::new();
+        frame(&mut odd, TAG_ADMIN, |out| {
+            out.push(2);
+            put_u64(out, 1);
+        });
+        assert_eq!(
+            Request::decode(&odd).unwrap_err(),
+            DecodeError::Malformed("unknown admin command")
+        );
+
+        // A world update truncated mid-generation is malformed once the frame is complete.
+        let mut short = Vec::new();
+        frame(&mut short, TAG_WORLD_UPDATE, |out| {
+            put_u64(out, 1);
+            put_u32(out, 0);
+        });
+        assert!(matches!(Response::decode(&short).unwrap_err(), DecodeError::Malformed(_)));
 
         // An out-of-range tile level is rejected before it can overflow the tile geometry
         // (`TileFrame::side_at` shifts by the level).

@@ -16,7 +16,9 @@
 //!   [`WireConfig`] choosing objective, safe-region method and horizon);
 //! * [`Request::Report`] — one epoch of user positions for a registered group (both the
 //!   spontaneous step-1 violation reports and the step-2 probe replies travel as reports);
-//! * [`Request::Deregister`] — close the session.
+//! * [`Request::Deregister`] — close the session;
+//! * [`Request::Admin`] — a world mutation ([`AdminRequest`]: POI insert / delete), accepted
+//!   only from clients the server has granted admin rights.
 //!
 //! Downlink ([`Response`], server → client):
 //!
@@ -26,7 +28,11 @@
 //!   current location;
 //! * [`Response::Notification`] — control-plane acknowledgements and errors
 //!   ([`NotificationKind`]); a `Registered` notification carries the server-assigned group
-//!   id every later message is addressed by.
+//!   id every later message is addressed by;
+//! * [`Response::WorldUpdate`] — the **unsolicited push** of the mutable-world protocol:
+//!   a POI change invalidated this group's safe regions, revised [`Response::SafeRegion`]s
+//!   follow in the same batch.  Unlike every other downlink message it is not a reply to
+//!   anything the receiving client sent.
 //!
 //! # Cost accounting
 //!
@@ -176,6 +182,25 @@ pub enum Request {
         /// The group to deregister.
         group: WireGroupId,
     },
+    /// A POI world mutation, gated per-client: the server only honours it from clients it
+    /// has granted admin rights (everyone else gets [`NotificationKind::AdminDenied`]).
+    Admin(AdminRequest),
+}
+
+/// The world mutation an admin client requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdminRequest {
+    /// A new POI appears at `location`; the server assigns its id and echoes it in the
+    /// [`NotificationKind::AdminApplied`] acknowledgement.
+    PoiInsert {
+        /// Where the new POI appears.
+        location: Point,
+    },
+    /// POI `poi` disappears; an unknown id earns [`NotificationKind::UnknownPoi`].
+    PoiDelete {
+        /// Id of the POI to remove.
+        poi: u64,
+    },
 }
 
 /// A downlink protocol message (server → client).
@@ -203,10 +228,22 @@ pub enum Response {
     /// Control-plane acknowledgement or error.
     Notification {
         /// The group the notification concerns (the assigned id for
-        /// [`NotificationKind::Registered`], the echoed id otherwise).
+        /// [`NotificationKind::Registered`], the echoed id otherwise; for the admin
+        /// acknowledgements this field carries the **POI id** instead).
         group: WireGroupId,
         /// What happened.
         kind: NotificationKind,
+    },
+    /// Unsolicited server push: a POI world change broke this group's safe regions and the
+    /// server recomputed them.  `revised` [`Response::SafeRegion`] messages (one per user)
+    /// follow in the same response batch.
+    WorldUpdate {
+        /// The affected group.
+        group: WireGroupId,
+        /// The world generation the revised regions are valid for.
+        generation: u64,
+        /// How many revised safe-region messages follow.
+        revised: u32,
     },
 }
 
@@ -222,6 +259,14 @@ pub enum NotificationKind {
     /// The request was malformed at the protocol level: a report whose batch does not hold
     /// one position per user, or a registration for an empty group.
     BadRequest,
+    /// The admin request was applied; the notification's `group` field carries the POI id
+    /// the change concerned (the freshly assigned id of an insert, or the deleted id).
+    AdminApplied,
+    /// The client holds no admin rights; the world was not touched.
+    AdminDenied,
+    /// The admin delete addressed a POI id the world does not contain (the `group` field
+    /// echoes that id).
+    UnknownPoi,
 }
 
 impl Request {
@@ -236,6 +281,9 @@ impl Request {
             Request::Register { .. } => 2,
             Request::Report { positions, .. } => 2 * positions.len(),
             Request::Deregister { .. } => 1,
+            // An insert carries one coordinate pair, a delete one id.
+            Request::Admin(AdminRequest::PoiInsert { .. }) => 2,
+            Request::Admin(AdminRequest::PoiDelete { .. }) => 1,
         }
     }
 
@@ -266,6 +314,8 @@ impl Response {
             Response::SafeRegion { region, .. } => 2 + region_value_count(region, compress),
             Response::ProbeRequest { .. } => 1,
             Response::Notification { .. } => 1,
+            // Generation stamp + revised-region count.
+            Response::WorldUpdate { .. } => 2,
         }
     }
 

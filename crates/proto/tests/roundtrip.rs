@@ -7,7 +7,8 @@
 use mpn_core::{SafeRegion, TileCell, TileFrame, TileRegion};
 use mpn_geom::{Circle, Point};
 use mpn_proto::{
-    DecodeError, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
+    AdminRequest, DecodeError, NotificationKind, Request, Response, WireConfig, WireMethod,
+    WireObjective,
 };
 use proptest::collection::vec as prop_vec;
 use proptest::prelude::*;
@@ -141,6 +142,82 @@ proptest! {
         let notification = Response::Notification { group, kind };
         let bytes = notification.encoded();
         prop_assert_eq!(Response::decode(&bytes).expect("a valid frame").0, notification);
+    }
+
+    #[test]
+    fn admin_frames_round_trip_and_truncate_cleanly(
+        x in -50_000.0f64..50_000.0,
+        y in -50_000.0f64..50_000.0,
+        poi in 0u64..u64::MAX,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        for request in [
+            Request::Admin(AdminRequest::PoiInsert { location: Point::new(x, y) }),
+            Request::Admin(AdminRequest::PoiDelete { poi }),
+        ] {
+            let bytes = request.encoded();
+            let (decoded, consumed) = Request::decode(&bytes).expect("a valid frame");
+            prop_assert_eq!(decoded, request.clone());
+            prop_assert_eq!(consumed, bytes.len());
+            // Any prefix of a valid admin frame is Incomplete, never an error or a panic.
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert_eq!(Request::decode(&bytes[..cut]).unwrap_err(), DecodeError::Incomplete);
+        }
+    }
+
+    #[test]
+    fn world_update_and_admin_ack_frames_round_trip(
+        group in 0u64..u64::MAX,
+        generation in 0u64..u64::MAX,
+        revised in 0u32..u32::MAX,
+        kind in 0usize..3,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let update = Response::WorldUpdate { group, generation, revised };
+        let bytes = update.encoded();
+        let (decoded, consumed) = Response::decode(&bytes).expect("a valid frame");
+        prop_assert_eq!(decoded, update);
+        prop_assert_eq!(consumed, bytes.len());
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert_eq!(Response::decode(&bytes[..cut]).unwrap_err(), DecodeError::Incomplete);
+
+        // The admin acks reuse the notification frame; the group field carries the POI id.
+        let kind = [
+            NotificationKind::AdminApplied,
+            NotificationKind::AdminDenied,
+            NotificationKind::UnknownPoi,
+        ][kind];
+        let ack = Response::Notification { group, kind };
+        let bytes = ack.encoded();
+        prop_assert_eq!(Response::decode(&bytes).expect("a valid frame").0, ack);
+    }
+
+    #[test]
+    fn corrupted_admin_and_world_update_frames_never_panic(
+        position in 0usize..1_000,
+        value in 0usize..256,
+        oversize in ((16usize << 20) + 1)..(1 << 30),
+    ) {
+        for bytes in [
+            Request::Admin(AdminRequest::PoiInsert { location: Point::new(3.0, -4.0) }).encoded(),
+            Request::Admin(AdminRequest::PoiDelete { poi: 99 }).encoded(),
+            Response::WorldUpdate { group: 1, generation: 2, revised: 3 }.encoded(),
+        ] {
+            let mut corrupt = bytes.clone();
+            let index = position % corrupt.len();
+            corrupt[index] = value as u8;
+            // The flip may hit the tag, the admin sub-command, the length or a payload
+            // byte; any outcome but a panic (or an over-allocation) is acceptable.
+            let _ = Request::decode(&corrupt);
+            let _ = Response::decode(&corrupt);
+
+            // A frame whose length prefix claims more than the cap is rejected as
+            // Oversize before any allocation happens.
+            let mut huge = bytes;
+            huge[..4].copy_from_slice(&(oversize as u32).to_le_bytes());
+            prop_assert_eq!(Request::decode(&huge).unwrap_err(), DecodeError::Oversize(oversize));
+            prop_assert_eq!(Response::decode(&huge).unwrap_err(), DecodeError::Oversize(oversize));
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@
 use std::sync::Arc;
 
 use mpn_geom::Point;
-use mpn_index::RTree;
+use mpn_index::{IndexView, RTree, WorldView};
 use mpn_pool::WorkerPool;
 
 use crate::metrics::{MonitoringMetrics, ShardLoad};
@@ -111,6 +111,48 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// One mutation of the POI world: a point of interest appearing or disappearing while the
+/// fleet is being monitored (a closing restaurant, a pop-up venue).
+///
+/// Applied via [`MonitoringEngine::apply_world_change`], which threads the change through the
+/// engine's [`WorldView`] overlay and immediately recomputes exactly the sessions whose safe
+/// regions the change can break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorldChange {
+    /// A new POI appears at `location`; its id is assigned by the world (reported in the
+    /// [`InvalidationSummary`]).
+    PoiInsert {
+        /// Where the new POI appears.
+        location: Point,
+    },
+    /// POI `poi` disappears.  Unknown (or already-deleted) ids are rejected gracefully —
+    /// the summary reports `applied == false` and nothing is touched.
+    PoiDelete {
+        /// Id of the POI to remove.
+        poi: usize,
+    },
+}
+
+/// What one [`MonitoringEngine::apply_world_change`] call did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InvalidationSummary {
+    /// Whether the change took effect (`false` only for a delete of an unknown id).
+    pub applied: bool,
+    /// The POI the change concerned: the freshly assigned id of an insert, or the deleted id.
+    pub poi: Option<usize>,
+    /// The world generation after the change (unchanged when not applied).
+    pub generation: u64,
+    /// Registered sessions examined by the invalidation pass.
+    pub groups_checked: usize,
+    /// Sessions whose safe regions the change could break — each was force-recomputed
+    /// against the new world and re-notified.
+    pub invalidated: usize,
+    /// The ids of the invalidated groups, in shard order.
+    pub affected: Vec<GroupId>,
+    /// Whether the delta overlay was folded back into the base index afterwards.
+    pub compacted: bool,
+}
+
 /// Which executor advances the live shards of a tick.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum TickExecutor {
@@ -173,11 +215,11 @@ struct Shard {
 
 impl Shard {
     /// Advances every live session one epoch; returns this shard's tick tally.
-    fn advance_all(&mut self, tree: &RTree) -> TickSummary {
+    fn advance_all(&mut self, view: IndexView<'_>) -> TickSummary {
         let mut tally = TickSummary::default();
         let mut weight = 0usize;
         for (_, session) in &mut self.sessions {
-            match session.advance(tree) {
+            match session.advance(view) {
                 StepOutcome::Finished => {}
                 StepOutcome::Starved => tally.starved += 1,
                 StepOutcome::Registered => {
@@ -200,6 +242,23 @@ impl Shard {
         }
         self.weight = weight;
         tally
+    }
+
+    /// The invalidation pass of one world change: evaluates the break predicate for every
+    /// session and force-recomputes the affected ones against the new view.  Returns
+    /// `(sessions checked, affected group ids)`.
+    fn invalidate_all(
+        &mut self,
+        view: IndexView<'_>,
+        change: &WorldChange,
+    ) -> (usize, Vec<GroupId>) {
+        let mut affected = Vec::new();
+        for (id, session) in &mut self.sessions {
+            if session.world_change_invalidates(change) && session.force_recompute(view) {
+                affected.push(*id);
+            }
+        }
+        (self.sessions.len(), affected)
     }
 
     /// Recomputes the remaining work from scratch (the debug cross-check of the cached
@@ -227,7 +286,9 @@ enum DirectoryEntry {
 /// threads, held alongside their workload, and fed from the network.
 #[derive(Debug)]
 pub struct MonitoringEngine {
-    tree: Arc<RTree>,
+    /// The mutable POI world: a shared base R-tree plus the generation-stamped delta overlay
+    /// maintained by [`apply_world_change`](MonitoringEngine::apply_world_change).
+    world: WorldView,
     shards: Vec<Shard>,
     /// `id -> session location (or retired metrics)`, indexed by [`GroupId`].
     directory: Vec<DirectoryEntry>,
@@ -273,13 +334,13 @@ impl MonitoringEngine {
         num_shards: usize,
         executor: TickExecutor,
     ) -> Self {
-        let tree = tree.into();
-        assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
+        let world = WorldView::new(tree.into());
+        assert!(!world.is_empty(), "monitoring requires a non-empty POI set");
         let num_shards = num_shards.max(1);
         let pool = (executor == TickExecutor::WorkerPool && num_shards > 1)
             .then(|| WorkerPool::new(num_shards));
         Self {
-            tree,
+            world,
             shards: (0..num_shards).map(|_| Shard::default()).collect(),
             directory: Vec::new(),
             free_ids: Vec::new(),
@@ -297,10 +358,19 @@ impl MonitoringEngine {
         Self::new(tree, shards)
     }
 
-    /// The engine's shared POI index.
+    /// The *base* R-tree of the engine's POI world (without any overlay changes applied).
+    ///
+    /// Callers that must see the current POI content — including un-compacted inserts and
+    /// deletes — read [`world`](MonitoringEngine::world) instead.
     #[must_use]
     pub fn tree(&self) -> &Arc<RTree> {
-        &self.tree
+        self.world.base()
+    }
+
+    /// The engine's mutable POI world (base index plus delta overlay).
+    #[must_use]
+    pub fn world(&self) -> &WorldView {
+        &self.world
     }
 
     /// Registers a replay group for monitoring and returns its id.
@@ -462,6 +532,87 @@ impl MonitoringEngine {
         drained
     }
 
+    /// Applies one POI world change and recomputes exactly the sessions it can break.
+    ///
+    /// The change is written into the engine's [`WorldView`] overlay first (bumping the
+    /// world generation), then an invalidation pass fans out over the shards on the same
+    /// executor path as [`tick`](MonitoringEngine::tick): every registered session evaluates
+    /// the break predicate ([`GroupSession::world_change_invalidates`] — a deleted POI that
+    /// participates in the answer or the cached §5.4 buffer, or an inserted POI whose
+    /// best-case aggregate undercuts the optimum's worst case over the regions) and the
+    /// affected sessions are force-recomputed against the new world, re-notifying their
+    /// users through the normal metrics / traffic / [`SessionEvent`] path.  Unaffected
+    /// sessions are untouched — their safe regions remain provably valid, so they recompute
+    /// nothing.
+    ///
+    /// A delete of an unknown (or already-deleted) id is rejected gracefully: the summary
+    /// reports `applied == false` and no session is examined.  After the pass the overlay is
+    /// compacted back into the base index when it has outgrown its threshold (content and
+    /// generation are preserved, so cached buffers stay valid).
+    pub fn apply_world_change(&mut self, change: WorldChange) -> InvalidationSummary {
+        let poi = match change {
+            WorldChange::PoiInsert { location } => Some(self.world.insert(location)),
+            WorldChange::PoiDelete { poi } => self.world.delete(poi).map(|_| poi),
+        };
+        if poi.is_none() {
+            return InvalidationSummary {
+                applied: false,
+                poi: None,
+                generation: self.world.generation(),
+                groups_checked: 0,
+                invalidated: 0,
+                affected: Vec::new(),
+                compacted: false,
+            };
+        }
+        assert!(!self.world.is_empty(), "a POI delete may not empty the monitored world");
+
+        let view = self.world.view();
+        let change = &change;
+        let occupied: Vec<&mut Shard> =
+            self.shards.iter_mut().filter(|s| !s.sessions.is_empty()).collect();
+        let results: Vec<(usize, Vec<GroupId>)> = if occupied.len() <= 1 {
+            occupied.into_iter().map(|shard| shard.invalidate_all(view, change)).collect()
+        } else if let Some(pool) = &mut self.pool {
+            let mut slots: Vec<Option<(usize, Vec<GroupId>)>> = vec![None; occupied.len()];
+            pool.scoped(|scope| {
+                for (shard, slot) in occupied.into_iter().zip(slots.iter_mut()) {
+                    scope.execute(move || *slot = Some(shard.invalidate_all(view, change)));
+                }
+            });
+            slots.into_iter().map(|t| t.expect("the scope barrier ran every job")).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = occupied
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || shard.invalidate_all(view, change)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("invalidation shard thread panicked"))
+                    .collect()
+            })
+        };
+
+        let mut groups_checked = 0;
+        let mut affected = Vec::new();
+        for (checked, ids) in results {
+            groups_checked += checked;
+            affected.extend(ids);
+        }
+        let generation = self.world.generation();
+        let compacted = self.world.maybe_compact();
+        InvalidationSummary {
+            applied: true,
+            poi,
+            generation,
+            groups_checked,
+            invalidated: affected.len(),
+            affected,
+            compacted,
+        }
+    }
+
     /// Inserts a fresh session for `id` on the least-loaded shard.  If the id carries a
     /// retired metrics record (it is being reused), the record is folded into the
     /// reclaimed-epochs aggregate so fleet-wide totals never shrink.
@@ -572,8 +723,7 @@ impl MonitoringEngine {
     /// per-group metrics are identical to a serial replay regardless of shard count and
     /// executor.
     pub fn tick(&mut self) -> TickSummary {
-        let tree = Arc::clone(&self.tree);
-        let tree: &RTree = &tree;
+        let view = self.world.view();
         let mut live: Vec<&mut Shard> = Vec::with_capacity(self.shards.len());
         let mut already_finished = 0usize;
         for shard in &mut self.shards {
@@ -585,12 +735,12 @@ impl MonitoringEngine {
             }
         }
         let tallies: Vec<TickSummary> = if live.len() <= 1 {
-            live.into_iter().map(|shard| shard.advance_all(tree)).collect()
+            live.into_iter().map(|shard| shard.advance_all(view)).collect()
         } else if let Some(pool) = &mut self.pool {
             let mut slots: Vec<Option<TickSummary>> = vec![None; live.len()];
             pool.scoped(|scope| {
                 for (shard, slot) in live.into_iter().zip(slots.iter_mut()) {
-                    scope.execute(move || *slot = Some(shard.advance_all(tree)));
+                    scope.execute(move || *slot = Some(shard.advance_all(view)));
                 }
             });
             slots.into_iter().map(|t| t.expect("the scope barrier ran every job")).collect()
@@ -598,7 +748,7 @@ impl MonitoringEngine {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = live
                     .into_iter()
-                    .map(|shard| scope.spawn(move || shard.advance_all(tree)))
+                    .map(|shard| scope.spawn(move || shard.advance_all(view)))
                     .collect();
                 handles
                     .into_iter()

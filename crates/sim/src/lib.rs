@@ -24,8 +24,9 @@
 //!   timestamp cap has an **open horizon**: it monitors until deregistered.
 //! * [`MonitoringEngine`] ([`engine`]) — a churning fleet of sessions sharded over a
 //!   persistent worker pool and advanced one epoch per [`tick`](MonitoringEngine::tick).
-//!   The engine holds its POI index via `Arc` and has no lifetime parameters, so it moves
-//!   freely into server threads.  Dynamic membership
+//!   The engine owns its POI index as a [`mpn_index::WorldView`] (a shared base R-tree
+//!   behind a generation-stamped mutation overlay) and has no lifetime parameters, so it
+//!   moves freely into server threads.  Dynamic membership
 //!   ([`register`](MonitoringEngine::register) / [`register_stream`](MonitoringEngine::register_stream)
 //!   / [`deregister`](MonitoringEngine::deregister) / [`rejoin`](MonitoringEngine::rejoin))
 //!   runs over a free-list of group ids with **horizon-aware** least-loaded placement
@@ -59,6 +60,35 @@
 //!   shared with `mpn-proto`'s wire accounting through
 //!   [`mpn_core::region_value_count`].
 //!
+//! # The mutable world: generations, invalidation, push
+//!
+//! The POI set is live data.  [`MonitoringEngine::apply_world_change`] applies a
+//! [`WorldChange`] (POI insert or delete) to the engine's `WorldView` and returns an
+//! [`InvalidationSummary`].  The contract, end to end:
+//!
+//! * **Generations** — every mutation stamps the world with a fresh, strictly increasing
+//!   generation; every computed answer is stamped with the generation it was computed
+//!   against (`mpn_core::SessionState::answer_generation`).  Compaction — folding the
+//!   overlay into a rebuilt base once it outgrows its threshold — preserves ids and does
+//!   *not* bump the generation, because the content is unchanged; §5.4 buffer caches keyed
+//!   on the generation therefore survive it.
+//! * **Invalidation is precise, not conservative-rebuild**: a delete breaks a group iff the
+//!   deleted POI participates in its answer or its §5.4 GNN buffer; an insert breaks it iff
+//!   the new POI's best-case aggregate over the group's safe regions undercuts the current
+//!   optimum's worst case (`mpn_core::SessionState::{delete_invalidates,
+//!   insert_invalidates}`).  Both predicates are *sound*: a group they leave alone still
+//!   upholds Definition 3 against the new world (pinned by the workspace property test
+//!   `tests/world_mutation.rs`).  Only broken groups are force-recomputed — fanned over the
+//!   shards on the same worker pool as a tick — and the summary names exactly those groups,
+//!   so callers can account per-group work.
+//! * **Push** — [`ServerCore`] maps an applied admin mutation ([`mpn_proto::Request::Admin`],
+//!   gated per client by [`ServerCore::grant_admin`]) to unsolicited downlink for each
+//!   affected group's owner: a [`mpn_proto::Response::WorldUpdate`] announcing the new
+//!   generation, followed by the force-recomputed `SafeRegion`s, even if that client sent
+//!   nothing this tick.  The network front-ends deliver these through their ordinary batch
+//!   machinery (see `mpn-net`'s crate docs for the idle-connection delivery and ordering
+//!   guarantees).
+//!
 //! [`run_monitoring`] remains as the single-group compatibility wrapper (bit-identical
 //! counters to the historical stateless loop, pinned by `tests/engine_parity.rs`) and
 //! [`experiment::run_workload`] drives a whole multi-group workload through the engine,
@@ -74,8 +104,8 @@ pub mod monitor;
 pub mod server;
 
 pub use engine::{
-    EpochUpdate, GroupId, MonitoringEngine, SubmitError, TickExecutor, TickSummary,
-    OPEN_HORIZON_WEIGHT,
+    EpochUpdate, GroupId, InvalidationSummary, MonitoringEngine, SubmitError, TickExecutor,
+    TickSummary, WorldChange, OPEN_HORIZON_WEIGHT,
 };
 pub use experiment::{run_workload, run_workload_sharded, WorkloadSummary};
 pub use message::{Message, MessageKind, Traffic};

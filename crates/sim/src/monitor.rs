@@ -37,9 +37,10 @@ use std::time::Instant;
 
 use mpn_core::{EngineContext, Method, Objective, SafeRegion, SafeRegionEngine, SessionState};
 use mpn_geom::Point;
-use mpn_index::RTree;
+use mpn_index::{IndexView, RTree};
 use mpn_mobility::Trajectory;
 
+use crate::engine::WorldChange;
 use crate::message::Message;
 use crate::metrics::MonitoringMetrics;
 
@@ -396,9 +397,10 @@ impl GroupSession {
     /// [`Starved`](StepOutcome::Starved)s and its clock does not move.
     ///
     /// # Panics
-    /// Panics when the POI tree is empty.
-    pub fn advance(&mut self, tree: &RTree) -> StepOutcome {
-        assert!(!tree.is_empty(), "monitoring requires a non-empty POI set");
+    /// Panics when the POI view is empty.
+    pub fn advance<'a>(&mut self, index: impl Into<IndexView<'a>>) -> StepOutcome {
+        let view = index.into();
+        assert!(!view.is_empty(), "monitoring requires a non-empty POI set");
         if self.is_finished() {
             return StepOutcome::Finished;
         }
@@ -425,7 +427,7 @@ impl GroupSession {
             for _ in 0..self.group_size {
                 self.metrics.traffic.record(Message::location_report());
             }
-            self.compute_and_notify(tree);
+            self.compute_and_notify(view);
             self.registered = true;
             self.next_t = t + 1;
             return StepOutcome::Registered;
@@ -464,13 +466,46 @@ impl GroupSession {
             }
         }
         // Step 3: recompute and notify everyone.
-        self.compute_and_notify(tree);
+        self.compute_and_notify(view);
         StepOutcome::Updated { violators: violators.len() }
     }
 
+    /// Whether the given POI change can break this session's current safe regions
+    /// (Definition 3 soundness, evaluated against the *last* answer — see
+    /// [`SessionState::delete_invalidates`] / [`SessionState::insert_invalidates`]).
+    ///
+    /// An unregistered session (or one whose answer was reclaimed) has nothing to break.
+    #[must_use]
+    pub fn world_change_invalidates(&self, change: &WorldChange) -> bool {
+        match *change {
+            WorldChange::PoiDelete { poi } => self.session.delete_invalidates(poi),
+            WorldChange::PoiInsert { location } => {
+                self.session.insert_invalidates(location, self.config.objective)
+            }
+        }
+    }
+
+    /// Recomputes the safe regions against the (changed) POI view without consuming an
+    /// epoch, re-notifying every user at her last observed location.
+    ///
+    /// This is the server-push half of the world-mutation protocol: a POI change that breaks
+    /// a group's regions must not wait for the next violation report.  The recomputation
+    /// runs the normal notify path, so metrics, traffic accounting and (when enabled)
+    /// [`SessionEvent::Assigned`] events flow exactly like a violation-triggered update.
+    ///
+    /// Returns `false` (and does nothing) for a session that is not registered, has no
+    /// current answer, or has already finished its horizon.
+    pub fn force_recompute<'a>(&mut self, index: impl Into<IndexView<'a>>) -> bool {
+        if !self.registered || self.is_finished() || self.session.last_answer().is_none() {
+            return false;
+        }
+        self.compute_and_notify(index.into());
+        true
+    }
+
     /// Runs one safe-region computation through the engine and pushes the notifications.
-    fn compute_and_notify(&mut self, tree: &RTree) {
-        let ctx = EngineContext::new(tree, self.config.objective);
+    fn compute_and_notify(&mut self, view: IndexView<'_>) {
+        let ctx = EngineContext::new(view, self.config.objective);
         let start = Instant::now();
         let answer = self.engine.compute(ctx, &self.locations, &mut self.session);
         let elapsed = start.elapsed();

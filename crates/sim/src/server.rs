@@ -27,19 +27,27 @@
 //! * [`Request::Report`] → an [`EpochUpdate`] submitted into the group's inbox (invalid
 //!   reports are answered with `UnknownGroup` / `BadRequest` notifications instead of
 //!   touching any session);
-//! * [`Request::Deregister`] → session teardown with metrics retained for fleet accounting.
+//! * [`Request::Deregister`] → session teardown with metrics retained for fleet accounting;
+//! * [`Request::Admin`] → a POI-world mutation ([`WorldChange`]) applied through the
+//!   engine's generation-stamped overlay, gated on a per-client admin grant
+//!   ([`grant_admin`](ServerCore::grant_admin)).  Groups whose safe regions the change
+//!   invalidated are force-recomputed and their owners receive an **unsolicited push**:
+//!   a [`Response::WorldUpdate`] announcing the new world generation, followed by the
+//!   revised `SafeRegion` responses — even if those clients sent nothing this tick.
 //!
 //! The caller owns the tick cadence: a deployment calls `process` on its epoch clock (the
 //! event loop calls it once per poll iteration with work pending), a test calls it after
 //! enqueueing whatever it wants applied.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use mpn_index::RTree;
-use mpn_proto::{NotificationKind, Request, Response, WireConfig, WireGroupId};
+use mpn_proto::{AdminRequest, NotificationKind, Request, Response, WireConfig, WireGroupId};
 
-use crate::engine::{EpochUpdate, GroupId, MonitoringEngine, SubmitError, TickSummary};
+use crate::engine::{
+    EpochUpdate, GroupId, MonitoringEngine, SubmitError, TickSummary, WorldChange,
+};
 use crate::monitor::{GroupSession, MonitorConfig, SessionEvent};
 
 /// Identifier of one client connection as the core sees it.
@@ -89,6 +97,10 @@ pub struct ServerCore {
     /// [`has_work`](ServerCore::has_work) without scanning the fleet: a burst of reports is
     /// applied to the inboxes in one call but drained one epoch per tick.
     backlog: usize,
+    /// Clients allowed to mutate the POI world via [`Request::Admin`].  Deployments grant
+    /// this out of band ([`grant_admin`](ServerCore::grant_admin)); an ungranted client's
+    /// admin request is answered with [`NotificationKind::AdminDenied`] and touches nothing.
+    admins: HashSet<ClientId>,
     last_summary: Option<TickSummary>,
 }
 
@@ -104,6 +116,7 @@ impl ServerCore {
             queue: VecDeque::new(),
             owners: HashMap::new(),
             backlog: 0,
+            admins: HashSet::new(),
             last_summary: None,
         }
     }
@@ -149,6 +162,23 @@ impl ServerCore {
     #[must_use]
     pub fn owner(&self, group: GroupId) -> Option<ClientId> {
         self.owners.get(&group).copied()
+    }
+
+    /// Grants `client` the right to mutate the POI world via [`Request::Admin`].
+    ///
+    /// There is deliberately no in-band way to acquire this: deployments decide out of band
+    /// which connections are operator consoles (e.g. a local management socket) and grant
+    /// them here.  The grant dies with the connection
+    /// ([`disconnect`](ServerCore::disconnect)) and client ids are never reused, so a
+    /// recycled connection slot can never inherit admin rights.
+    pub fn grant_admin(&mut self, client: ClientId) {
+        self.admins.insert(client);
+    }
+
+    /// Whether `client` may mutate the POI world.
+    #[must_use]
+    pub fn is_admin(&self, client: ClientId) -> bool {
+        self.admins.contains(&client)
     }
 
     /// Applies every queued request in arrival order, runs one sharded engine tick, and
@@ -202,6 +232,7 @@ impl ServerCore {
     /// must not leak live sessions that nobody can ever report to again.
     pub fn disconnect(&mut self, client: ClientId) -> Vec<GroupId> {
         self.queue.retain(|(c, _)| *c != client);
+        self.admins.remove(&client);
         let mut owned: Vec<GroupId> =
             self.owners.iter().filter(|(_, &c)| c == client).map(|(&g, _)| g).collect();
         owned.sort_unstable();
@@ -262,6 +293,65 @@ impl ServerCore {
                 };
                 out.push((client, notification(group, kind)));
             }
+            Request::Admin(admin) => self.apply_admin(client, admin, out),
+        }
+    }
+
+    /// Applies one [`Request::Admin`] world mutation: gate on the admin grant, mutate the
+    /// engine's [`WorldView`](mpn_index::WorldView), then queue the unsolicited
+    /// [`Response::WorldUpdate`] pushes for every group whose safe regions the change broke.
+    ///
+    /// Per-client ordering is the push contract of the front-ends: the owner of an affected
+    /// group sees the `WorldUpdate` (queued here, during request application) *before* the
+    /// revised `SafeRegion` responses, which the forced recomputation logged as session
+    /// events and [`process`](ServerCore::process) drains only after the tick.
+    fn apply_admin(
+        &mut self,
+        client: ClientId,
+        admin: AdminRequest,
+        out: &mut Vec<(ClientId, Response)>,
+    ) {
+        let echo = match admin {
+            AdminRequest::PoiDelete { poi } => poi,
+            AdminRequest::PoiInsert { .. } => u64::MAX,
+        };
+        if !self.admins.contains(&client) {
+            out.push((client, notification(echo, NotificationKind::AdminDenied)));
+            return;
+        }
+        let change = match admin {
+            AdminRequest::PoiInsert { location } => WorldChange::PoiInsert { location },
+            AdminRequest::PoiDelete { poi } => {
+                let Ok(poi) = usize::try_from(poi) else {
+                    out.push((client, notification(echo, NotificationKind::UnknownPoi)));
+                    return;
+                };
+                WorldChange::PoiDelete { poi }
+            }
+        };
+        let summary = self.engine.apply_world_change(change);
+        let Some(poi) = summary.applied.then_some(summary.poi).flatten() else {
+            out.push((client, notification(echo, NotificationKind::UnknownPoi)));
+            return;
+        };
+        // The ack names the POI the change resolved to (for inserts: the id the new POI
+        // was assigned, which the operator needs to ever delete it again).
+        out.push((client, notification(poi as u64, NotificationKind::AdminApplied)));
+        for &group in &summary.affected {
+            let Some(&owner) = self.owners.get(&group) else {
+                debug_assert!(false, "affected group {group} without an owner");
+                continue;
+            };
+            let revised =
+                u32::try_from(self.engine.group(group).group_size()).expect("group sizes fit u32");
+            out.push((
+                owner,
+                Response::WorldUpdate {
+                    group: wire_id(group),
+                    generation: summary.generation,
+                    revised,
+                },
+            ));
         }
     }
 
@@ -302,6 +392,13 @@ impl MonitoringServer {
     #[must_use]
     pub fn core(&self) -> &ServerCore {
         &self.core
+    }
+
+    /// Grants the implicit local client the right to mutate the POI world via
+    /// [`Request::Admin`] (the in-process path is trusted by definition, but the gate still
+    /// defaults to closed so tests exercise the same denial path as the network front-ends).
+    pub fn grant_admin(&mut self) {
+        self.core.grant_admin(LOCAL_CLIENT);
     }
 
     /// The summary of the most recent [`process`](MonitoringServer::process) tick.
@@ -526,7 +623,7 @@ mod tests {
                     let expect = if *group == id7 { 7 } else { 9 };
                     assert_eq!(*client, expect, "downlink routes to the owning client");
                 }
-                Response::Notification { .. } => {}
+                Response::Notification { .. } | Response::WorldUpdate { .. } => {}
             }
         }
         let assigned = output
@@ -619,6 +716,115 @@ mod tests {
             .unwrap();
         assert_eq!(reused, 0, "the freed id is reused");
         assert_eq!(core.owner(0), Some(3), "ownership moved to the new registrant");
+    }
+
+    #[test]
+    fn admin_requests_are_gated_and_push_world_updates_to_affected_owners() {
+        let (tree, group) = world();
+        let mut core = ServerCore::new(Arc::clone(&tree), 2);
+        // Client 1 is the operator console; clients 2 and 3 are ordinary tenants.
+        core.grant_admin(1);
+        assert!(core.is_admin(1) && !core.is_admin(2));
+        for client in [2, 3] {
+            core.enqueue(
+                client,
+                Request::Register { group_size: group.len() as u32, config: WireConfig::default() },
+            );
+        }
+        core.process();
+        // The tenants monitor opposite corners of the domain, so their answers and §5.4
+        // buffers share no POIs and a targeted delete affects exactly one of them.
+        let mirrored: Vec<Point> = positions_at(&group, 0)
+            .iter()
+            .map(|p| Point::new(1000.0 - p.x, 1000.0 - p.y))
+            .collect();
+        core.enqueue(2, Request::Report { group: 0, positions: positions_at(&group, 0) });
+        core.enqueue(3, Request::Report { group: 1, positions: mirrored });
+        core.process();
+
+        // An ungranted client is denied without touching the world.
+        let generation = core.engine().world().generation();
+        core.enqueue(2, Request::Admin(AdminRequest::PoiDelete { poi: 0 }));
+        let output = core.process();
+        assert!(output.responses.contains(&(2, notification(0, NotificationKind::AdminDenied))));
+        assert_eq!(
+            core.engine().world().generation(),
+            generation,
+            "denied requests mutate nothing"
+        );
+
+        // Deleting an unknown POI is acknowledged as such, and the world stays put.
+        core.enqueue(1, Request::Admin(AdminRequest::PoiDelete { poi: 999_999 }));
+        let output = core.process();
+        assert!(output
+            .responses
+            .contains(&(1, notification(999_999, NotificationKind::UnknownPoi))));
+        assert_eq!(core.engine().world().generation(), generation);
+
+        // Deleting group 0's optimal POI pushes a WorldUpdate to its owner (client 2),
+        // followed by the revised safe regions — while client 3's group stays quiet.
+        let broken =
+            core.engine().group(0).session_state().last_answer().expect("answered").optimal_index;
+        core.enqueue(1, Request::Admin(AdminRequest::PoiDelete { poi: broken as u64 }));
+        let output = core.process();
+        assert!(output
+            .responses
+            .contains(&(1, notification(broken as u64, NotificationKind::AdminApplied))));
+        let to_2: Vec<&Response> =
+            output.responses.iter().filter(|(c, _)| *c == 2).map(|(_, r)| r).collect();
+        assert!(
+            matches!(
+                to_2.first(),
+                Some(Response::WorldUpdate { group: 0, revised, .. })
+                    if *revised == group.len() as u32
+            ),
+            "the push announcement precedes the revised regions: {to_2:?}"
+        );
+        assert_eq!(
+            to_2.iter().filter(|r| matches!(r, Response::SafeRegion { .. })).count(),
+            group.len(),
+            "every member gets a revised region"
+        );
+        let new_answer = core.engine().group(0).session_state().last_answer().expect("recomputed");
+        assert_ne!(new_answer.optimal_index, broken, "the deleted POI is gone from the answer");
+        assert!(
+            !output.responses.iter().any(|(c, _)| *c == 3),
+            "the unaffected tenant hears nothing"
+        );
+
+        // The admin grant dies with the connection.
+        core.disconnect(1);
+        assert!(!core.is_admin(1));
+    }
+
+    #[test]
+    fn local_server_admin_grant_applies_world_changes() {
+        let (tree, group) = world();
+        let mut server = MonitoringServer::new(Arc::clone(&tree), 2);
+        server.enqueue(Request::Admin(AdminRequest::PoiInsert { location: Point::ORIGIN }));
+        let responses = server.process();
+        assert_eq!(responses, vec![notification(u64::MAX, NotificationKind::AdminDenied)]);
+
+        server.grant_admin();
+        server.enqueue(Request::Admin(AdminRequest::PoiInsert { location: Point::ORIGIN }));
+        let responses = server.process();
+        let inserted = responses
+            .iter()
+            .find_map(|r| match r {
+                Response::Notification { group, kind: NotificationKind::AdminApplied } => {
+                    Some(*group)
+                }
+                _ => None,
+            })
+            .expect("an AdminApplied ack naming the new POI");
+        assert_eq!(server.engine().world().len(), tree.len() + 1);
+
+        // The id in the ack is usable: the operator can delete the POI it just created.
+        server.enqueue(Request::Admin(AdminRequest::PoiDelete { poi: inserted }));
+        let responses = server.process();
+        assert!(responses.contains(&notification(inserted, NotificationKind::AdminApplied)));
+        assert_eq!(server.engine().world().len(), tree.len());
+        let _ = group;
     }
 
     #[test]

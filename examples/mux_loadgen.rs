@@ -1,15 +1,29 @@
 //! Loopback load generator for the multiplexed front-end: one event-loop thread, one shared
-//! engine, 1000+ concurrent lock-step connections.
+//! engine, 1000+ concurrent lock-step connections — measured twice, without and with POI
+//! churn.
 //!
 //! A `MuxServer` runs on its own thread; a few client threads each own a slice of the
 //! connections and drive them in lock-step rounds (send one report per connection, then read
 //! each connection's response batch).  Every epoch round-trip is timed from the uplink write
-//! to the complete batch read, giving per-notification latency under full fan-in; the server
-//! stats give tick and request throughput.  Results land in `BENCH_6.json`.
+//! to the next complete batch read, giving per-notification latency under full fan-in.
+//!
+//! The run has two phases on fresh servers over the same workload:
+//!
+//! 1. **baseline** — the static world of the PR 6 loadgen;
+//! 2. **churn** — an operator console (the first accepted connection, granted admin out of
+//!    band) keeps deleting the fleet's optimal POI and re-inserting it at the same spot.
+//!    Every change stamps a new world generation and sweeps the invalidation predicates
+//!    across all sessions; the delete breaks every answer serving that POI and the
+//!    re-insert undercuts every replacement optimum, so the measured downlink carries
+//!    forced recomputations and unsolicited `WorldUpdate` pushes.  The latency delta
+//!    between the phases prices the whole mutable-world machinery.
+//!
+//! Results land in `BENCH_7.json` with a latency block per phase.
 //!
 //! Environment knobs (defaults in parentheses): `MPN_CONNS` (1024) total connections,
 //! `MPN_EPOCHS` (20) reports per connection, `MPN_GROUP` (3) users per group, `MPN_SHARDS`
-//! (4) engine shards, `MPN_CLIENT_THREADS` (8), `MPN_OUT` (`BENCH_6.json`).
+//! (4) engine shards, `MPN_CLIENT_THREADS` (8), `MPN_CHURN_MS` (25) milliseconds between
+//! world changes, `MPN_OUT` (`BENCH_7.json`).
 //!
 //! Run with: `cargo run --release --example mux_loadgen`
 
@@ -20,42 +34,168 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use mpn::core::{Method, MpnServer, Objective};
 use mpn::geom::Point;
 use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
-use mpn::net::{read_batch, MuxConfig, MuxServer};
-use mpn::proto::{NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective};
-use mpn::sim::{ServerCore, TrajectoryFeed};
+use mpn::net::{read_batch, MuxConfig, MuxServer, MuxStats};
+use mpn::proto::{
+    AdminRequest, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
+};
+use mpn::sim::ServerCore;
+use mpn::sim::TrajectoryFeed;
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+struct Knobs {
+    conns: usize,
+    epochs: usize,
+    group_size: usize,
+    shards: usize,
+    threads: usize,
+    churn_ms: u64,
+}
+
 fn main() {
-    let conns = env_usize("MPN_CONNS", 1024);
-    let epochs = env_usize("MPN_EPOCHS", 20);
-    let group_size = env_usize("MPN_GROUP", 3);
-    let shards = env_usize("MPN_SHARDS", 4);
-    let threads = env_usize("MPN_CLIENT_THREADS", 8).max(1);
-    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_6.json".into());
+    let knobs = Knobs {
+        conns: env_usize("MPN_CONNS", 1024),
+        epochs: env_usize("MPN_EPOCHS", 20),
+        group_size: env_usize("MPN_GROUP", 3),
+        shards: env_usize("MPN_SHARDS", 4),
+        threads: env_usize("MPN_CLIENT_THREADS", 8).max(1),
+        churn_ms: env_usize("MPN_CHURN_MS", 25) as u64,
+    };
+    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
 
     println!(
-        "mux loadgen: {conns} connections x {epochs} epochs, groups of {group_size}, \
-         {shards} shards, {threads} client threads"
+        "mux loadgen: {} connections x {} epochs, groups of {}, {} shards, {} client threads",
+        knobs.conns, knobs.epochs, knobs.group_size, knobs.shards, knobs.threads
     );
 
+    // Every connection replays the same recorded epochs: the load is in the fan-in, not in
+    // trajectory diversity.
+    let taxi = TaxiConfig {
+        domain: 4_000.0,
+        speed_limit: 9.0,
+        timestamps: knobs.epochs + 1,
+        ..TaxiConfig::default()
+    };
+    let group: Vec<Trajectory> =
+        (0..knobs.group_size).map(|i| taxi_trajectory(&taxi, 7_000 + i as u64)).collect();
+    let mut feed = TrajectoryFeed::new(group);
+    let mut shared_epochs: Vec<Vec<Point>> = Vec::with_capacity(knobs.epochs + 1);
+    while let Some(positions) = feed.next_epoch() {
+        shared_epochs.push(positions);
+    }
+    let shared_epochs = Arc::new(shared_epochs);
+
+    let baseline = run_phase(&knobs, &shared_epochs, false);
+    println!("\n=== baseline (static world) ===");
+    baseline.print();
+    let churn = run_phase(&knobs, &shared_epochs, true);
+    println!("\n=== churn ({} world changes applied) ===", churn.world_changes);
+    churn.print();
+
+    let json = format!(
+        "{{\n  \"bench\": \"mux_loadgen\",\n  \"pr\": 7,\n  \"connections\": {conns},\n  \
+         \"epochs_per_client\": {epochs},\n  \"group_size\": {group_size},\n  \
+         \"shards\": {shards},\n  \"client_threads\": {threads},\n  \
+         \"churn_interval_ms\": {churn_ms},\n  \"baseline\": {baseline},\n  \
+         \"churn\": {churn}\n}}\n",
+        conns = knobs.conns,
+        epochs = knobs.epochs,
+        group_size = knobs.group_size,
+        shards = knobs.shards,
+        threads = knobs.threads,
+        churn_ms = knobs.churn_ms,
+        baseline = baseline.json(),
+        churn = churn.json(),
+    );
+    let mut file = std::fs::File::create(&out_path).expect("create bench output");
+    file.write_all(json.as_bytes()).expect("write bench output");
+    println!("\nwrote {out_path}");
+}
+
+struct PhaseOutcome {
+    elapsed: Duration,
+    requests: usize,
+    stats: MuxStats,
+    p50: f64,
+    p99: f64,
+    max: f64,
+    world_changes: usize,
+    pushes: usize,
+}
+
+impl PhaseOutcome {
+    fn print(&self) {
+        let elapsed_ms = self.elapsed.as_secs_f64() * 1_000.0;
+        println!(
+            "{} report round-trips in {:.1} ms on one event-loop thread \
+             ({:.0} requests/s, {} engine ticks)",
+            self.requests,
+            elapsed_ms,
+            self.requests as f64 / self.elapsed.as_secs_f64(),
+            self.stats.ticks
+        );
+        println!(
+            "notification latency: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+            self.p50, self.p99, self.max
+        );
+        if self.world_changes > 0 {
+            println!(
+                "world churn: {} changes applied, {} unsolicited WorldUpdate pushes received",
+                self.world_changes, self.pushes
+            );
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\n    \"elapsed_ms\": {:.1},\n    \"requests\": {},\n    \
+             \"requests_per_sec\": {:.1},\n    \"engine_ticks\": {},\n    \
+             \"world_changes\": {},\n    \"world_update_pushes\": {},\n    \
+             \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }}\n  }}",
+            self.elapsed.as_secs_f64() * 1_000.0,
+            self.requests,
+            self.requests as f64 / self.elapsed.as_secs_f64(),
+            self.stats.ticks,
+            self.world_changes,
+            self.pushes,
+            self.p50,
+            self.p99,
+            self.max,
+        )
+    }
+}
+
+/// One full measured run on a fresh server; with `churn` an admin console mutates the POI
+/// world throughout the measured window.
+fn run_phase(knobs: &Knobs, shared_epochs: &Arc<Vec<Vec<Point>>>, churn: bool) -> PhaseOutcome {
     let pois = clustered_pois(
         &PoiConfig { count: 2_000, domain: 4_000.0, clusters: 8, ..PoiConfig::default() },
         29,
     );
-    let core = ServerCore::new(Arc::new(RTree::bulk_load(&pois)), shards);
+    let tree = Arc::new(RTree::bulk_load(&pois));
+    // The console's churn target: the POI the whole fleet's answers serve (every
+    // connection replays the same trajectory, so one precomputed optimum covers them all).
+    let seed =
+        MpnServer::new(tree.as_ref(), Objective::Max, Method::circle()).compute(&shared_epochs[0]);
+    let (target, spot) = (seed.optimal_index as u64, seed.optimal_point);
+    let core = ServerCore::new(Arc::clone(&tree), knobs.shards);
     // Pin per-connection kernel send buffers: at 1k+ sockets the autotuned default would
     // otherwise let slow readers eat megabytes each before backpressure can act.
     let config = MuxConfig { socket_send_buffer: Some(64 << 10), ..MuxConfig::default() };
     let mut server = MuxServer::bind("127.0.0.1:0", core, config).expect("bind loopback");
     let addr = server.local_addr().expect("local addr");
+    if churn {
+        // Connections are numbered from 1 in accept order; the console connects first.
+        server.core_mut().grant_admin(1);
+    }
 
     let stop = Arc::new(AtomicBool::new(false));
     let server_thread = {
@@ -66,97 +206,132 @@ fn main() {
         })
     };
 
-    // Every connection replays the same recorded epochs: the load is in the fan-in, not in
-    // trajectory diversity.
-    let taxi = TaxiConfig {
-        domain: 4_000.0,
-        speed_limit: 9.0,
-        timestamps: epochs + 1,
-        ..TaxiConfig::default()
-    };
-    let group: Vec<Trajectory> =
-        (0..group_size).map(|i| taxi_trajectory(&taxi, 7_000 + i as u64)).collect();
-    let mut feed = TrajectoryFeed::new(group);
-    let mut shared_epochs: Vec<Vec<Point>> = Vec::with_capacity(epochs + 1);
-    while let Some(positions) = feed.next_epoch() {
-        shared_epochs.push(positions);
-    }
-    let shared_epochs = Arc::new(shared_epochs);
+    // The console connects (and round-trips, pinning accept order) before any tenant.
+    let console = churn.then(|| {
+        let mut stream = connect(addr);
+        send(&mut stream, &Request::Admin(AdminRequest::PoiDelete { poi: u64::MAX }));
+        let ack = read_batch(&mut stream).expect("console ack");
+        assert!(
+            matches!(
+                ack.first(),
+                Some(Response::Notification { kind: NotificationKind::UnknownPoi, .. })
+            ),
+            "the console must come up granted, got {ack:?}"
+        );
+        stream
+    });
 
-    let barrier = Arc::new(Barrier::new(threads + 1));
-    let workers: Vec<_> = (0..threads)
+    let barrier = Arc::new(Barrier::new(knobs.threads + 1));
+    let workers: Vec<_> = (0..knobs.threads)
         .map(|t| {
-            let shared_epochs = Arc::clone(&shared_epochs);
+            let shared_epochs = Arc::clone(shared_epochs);
             let barrier = Arc::clone(&barrier);
-            let slice = conns / threads + usize::from(t < conns % threads);
+            let group_size = knobs.group_size;
+            let slice = knobs.conns / knobs.threads + usize::from(t < knobs.conns % knobs.threads);
             thread::spawn(move || client_thread(addr, slice, group_size, &shared_epochs, &barrier))
         })
         .collect();
 
     barrier.wait(); // All connections registered; the measured phase starts now.
     let t0 = Instant::now();
-    let mut latencies_ms: Vec<f64> = Vec::with_capacity(conns * epochs);
+
+    // The churn loop: delete the POI the fleet's answers serve (breaking every group),
+    // then re-insert it at the same spot (undercutting every replacement optimum).  Each
+    // change sweeps the invalidation predicates over all sessions inside the measured
+    // window; the re-insert's ack names the fresh id, keeping the loop self-sustaining.
+    let churn_stop = Arc::new(AtomicBool::new(false));
+    let churn_thread = console.map(|mut stream| {
+        let churn_stop = Arc::clone(&churn_stop);
+        let interval = Duration::from_millis(knobs.churn_ms);
+        thread::spawn(move || {
+            let mut target = target;
+            let mut changes = 0usize;
+            while !churn_stop.load(Ordering::Relaxed) {
+                send(&mut stream, &Request::Admin(AdminRequest::PoiDelete { poi: target }));
+                applied_poi(&read_batch(&mut stream).expect("delete ack"));
+                changes += 1;
+                thread::sleep(interval);
+                send(&mut stream, &Request::Admin(AdminRequest::PoiInsert { location: spot }));
+                target = applied_poi(&read_batch(&mut stream).expect("insert ack"));
+                changes += 1;
+                thread::sleep(interval);
+            }
+            changes
+        })
+    });
+
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(knobs.conns * knobs.epochs);
     let mut regions = 0usize;
+    let mut pushes = 0usize;
     for worker in workers {
         let outcome = worker.join().expect("client thread");
         latencies_ms.extend(outcome.latencies_ms);
         regions += outcome.regions;
+        pushes += outcome.pushes;
     }
     let elapsed = t0.elapsed();
+    churn_stop.store(true, Ordering::Relaxed);
+    let world_changes = churn_thread.map_or(0, |t| t.join().expect("churn thread"));
 
     stop.store(true, Ordering::Relaxed);
     let server = server_thread.join().expect("event loop thread");
     let stats = *server.stats();
-    assert_eq!(stats.accepted as usize, conns, "every connection was accepted");
+    let expected = knobs.conns + usize::from(churn);
+    assert_eq!(stats.accepted as usize, expected, "every connection was accepted");
     assert_eq!(server.core().engine().group_count(), 0, "every session deregistered");
     assert!(regions > 0, "the load produced real safe-region traffic");
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
-    let (p50, p99, max) = (pct(0.50), pct(0.99), *latencies_ms.last().expect("samples"));
+    PhaseOutcome {
+        elapsed,
+        requests: knobs.conns * knobs.epochs,
+        stats,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        max: *latencies_ms.last().expect("samples"),
+        world_changes,
+        pushes,
+    }
+}
 
-    let requests = conns * epochs;
-    let elapsed_ms = elapsed.as_secs_f64() * 1_000.0;
-    let requests_per_sec = requests as f64 / elapsed.as_secs_f64();
-    let ticks_per_sec = stats.ticks as f64 / elapsed.as_secs_f64();
+fn connect(addr: std::net::SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream.set_read_timeout(Some(Duration::from_secs(300))).expect("read timeout");
+    stream
+}
 
-    println!(
-        "\n{} report round-trips over {} connections in {:.1} ms on one event-loop thread",
-        requests, conns, elapsed_ms
-    );
-    println!(
-        "throughput: {requests_per_sec:.0} requests/s, {ticks_per_sec:.0} engine ticks/s \
-         ({} ticks total)",
-        stats.ticks
-    );
-    println!("notification latency: p50 {p50:.3} ms, p99 {p99:.3} ms, max {max:.3} ms");
-    println!(
-        "wire: {} B uplink, {} B downlink, {} responses, {} safe regions",
-        stats.bytes_in, stats.bytes_out, stats.responses, regions
-    );
+fn send(stream: &mut TcpStream, request: &Request) {
+    stream.write_all(&request.encoded()).expect("uplink write");
+}
 
-    let json = format!(
-        "{{\n  \"bench\": \"mux_loadgen\",\n  \"pr\": 6,\n  \"connections\": {conns},\n  \
-         \"epochs_per_client\": {epochs},\n  \"group_size\": {group_size},\n  \
-         \"shards\": {shards},\n  \"client_threads\": {threads},\n  \
-         \"elapsed_ms\": {elapsed_ms:.1},\n  \"requests\": {requests},\n  \
-         \"requests_per_sec\": {requests_per_sec:.1},\n  \"engine_ticks\": {ticks},\n  \
-         \"ticks_per_sec\": {ticks_per_sec:.1},\n  \"latency_ms\": {{\n    \
-         \"p50\": {p50:.3},\n    \"p99\": {p99:.3},\n    \"max\": {max:.3}\n  }}\n}}\n",
-        ticks = stats.ticks,
-    );
-    let mut file = std::fs::File::create(&out_path).expect("create bench output");
-    file.write_all(json.as_bytes()).expect("write bench output");
-    println!("\nwrote {out_path}");
+/// Extracts the POI id an `AdminApplied` ack names; panics on a denial (a mis-granted run
+/// would otherwise silently measure nothing).
+fn applied_poi(batch: &[Response]) -> u64 {
+    batch
+        .iter()
+        .find_map(|r| match r {
+            Response::Notification { group, kind: NotificationKind::AdminApplied } => Some(*group),
+            _ => None,
+        })
+        .expect("the console's change must be applied")
 }
 
 struct WorkerOutcome {
     latencies_ms: Vec<f64>,
     regions: usize,
+    pushes: usize,
 }
 
 /// Drives `count` lock-step connections: register all, wait at the barrier, stream every
 /// epoch (timing each round-trip), deregister all.
+///
+/// Under churn a connection may receive unsolicited push batches (`WorldUpdate` + revised
+/// regions) in place of — or merged with — a report reply.  The lock-step loop still reads
+/// exactly one batch per report (each report produces exactly one reply batch; pushes only
+/// add more), so nothing deadlocks; any push batches still in flight at the end are drained
+/// while waiting for the deregistration farewell.
 fn client_thread(
     addr: std::net::SocketAddr,
     count: usize,
@@ -174,12 +349,8 @@ fn client_thread(
 
     let mut conns: Vec<(TcpStream, u64)> = Vec::with_capacity(count);
     for _ in 0..count {
-        let mut stream = TcpStream::connect(addr).expect("connect");
-        stream.set_nodelay(true).expect("nodelay");
-        stream.set_read_timeout(Some(Duration::from_secs(300))).expect("read timeout");
-        stream
-            .write_all(&Request::Register { group_size: group_size as u32, config }.encoded())
-            .expect("send register");
+        let mut stream = connect(addr);
+        send(&mut stream, &Request::Register { group_size: group_size as u32, config });
         let ack = read_batch(&mut stream).expect("registration ack");
         let id = ack
             .iter()
@@ -196,30 +367,36 @@ fn client_thread(
     barrier.wait();
     let mut latencies_ms = Vec::with_capacity(count * epochs.len().saturating_sub(1));
     let mut regions = 0usize;
+    let mut pushes = 0usize;
     let mut sent_at = vec![Instant::now(); count];
     for positions in epochs.iter().take(epochs.len() - 1) {
         // Fan the epoch out over every connection first, then collect the batches: the
         // server sees genuine multiplexed fan-in, not one isolated socket at a time.
         for (i, (stream, id)) in conns.iter_mut().enumerate() {
             sent_at[i] = Instant::now();
-            stream
-                .write_all(&Request::Report { group: *id, positions: positions.clone() }.encoded())
-                .expect("send report");
+            send(stream, &Request::Report { group: *id, positions: positions.clone() });
         }
         for (i, (stream, _)) in conns.iter_mut().enumerate() {
             let batch = read_batch(stream).expect("epoch downlink");
             latencies_ms.push(sent_at[i].elapsed().as_secs_f64() * 1_000.0);
             regions += batch.iter().filter(|r| matches!(r, Response::SafeRegion { .. })).count();
+            pushes += batch.iter().filter(|r| matches!(r, Response::WorldUpdate { .. })).count();
         }
     }
 
     for (stream, id) in &mut conns {
-        stream.write_all(&Request::Deregister { group: *id }.encoded()).expect("send deregister");
-        let farewell = read_batch(stream).expect("deregistration ack");
-        assert!(farewell.contains(&Response::Notification {
-            group: *id,
-            kind: NotificationKind::Deregistered
-        }));
+        send(stream, &Request::Deregister { group: *id });
+        // Drain any still-in-flight push batches until the farewell arrives.
+        loop {
+            let batch = read_batch(stream).expect("deregistration ack");
+            pushes += batch.iter().filter(|r| matches!(r, Response::WorldUpdate { .. })).count();
+            if batch.contains(&Response::Notification {
+                group: *id,
+                kind: NotificationKind::Deregistered,
+            }) {
+                break;
+            }
+        }
     }
-    WorkerOutcome { latencies_ms, regions }
+    WorkerOutcome { latencies_ms, regions, pushes }
 }

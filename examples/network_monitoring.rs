@@ -90,7 +90,7 @@ impl Downlink {
             match response {
                 Response::ProbeRequest { .. } => self.probes += 1,
                 Response::SafeRegion { .. } => self.assignments += 1,
-                Response::Notification { .. } => {}
+                Response::Notification { .. } | Response::WorldUpdate { .. } => {}
             }
         }
         if self.assignments > before {

@@ -16,7 +16,7 @@ use mpn::core::{Method, MpnServer, Objective, SafeRegion};
 use mpn::geom::{Circle, Point};
 use mpn::index::RTree;
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
-use mpn::proto::{Request, Response};
+use mpn::proto::{AdminRequest, Request, Response};
 use mpn::sim::Message;
 
 fn report(positions: Vec<Point>) -> Request {
@@ -66,6 +66,26 @@ fn circle_safe_regions_match_result_notifications() {
         let message = Message::result_notification(&region, compress);
         assert_eq!(wire.values(compress), message.values);
         assert_eq!(wire.packets(compress), message.packets());
+    }
+}
+
+/// The control-plane additions of the mutable world stay inside the §7.1 packet model:
+/// every admin message and the unsolicited world-update push each cost exactly one packet,
+/// with the value counts pinned so the accounting can never drift silently.
+#[test]
+fn admin_and_world_update_costs_are_pinned() {
+    let insert = Request::Admin(AdminRequest::PoiInsert { location: Point::new(1.0, 2.0) });
+    assert_eq!(insert.values(), 2, "a POI insert ships one coordinate pair");
+    assert_eq!(insert.packets(), 1);
+
+    let delete = Request::Admin(AdminRequest::PoiDelete { poi: 42 });
+    assert_eq!(delete.values(), 1, "a POI delete ships one id");
+    assert_eq!(delete.packets(), 1);
+
+    for compress in [true, false] {
+        let update = Response::WorldUpdate { group: 9, generation: 7, revised: 3 };
+        assert_eq!(update.values(compress), 2, "a push ships a generation and a region count");
+        assert_eq!(update.packets(compress), 1, "the announcement always fits one packet");
     }
 }
 
