@@ -1,0 +1,485 @@
+//! A fleet-wide, lock-striped candidate cache keyed by (quantized query point, k, world
+//! generation).
+//!
+//! Every [`GroupSession`](../../mpn_sim/monitor/struct.GroupSession.html) update re-runs
+//! GNN / candidate-retrieval queries against the same shared index, and real fleets are full
+//! of near-duplicate groups: parties converging on the same venue issue the same `top_k`
+//! with the same positions, tick after tick.  [`QueryCache`] lets every session monitoring
+//! the same [`IndexView`](crate::IndexView) reuse those results:
+//!
+//! * **Keying.**  A query is bucketed by its *quantized* scalars (positions, radii,
+//!   thresholds snapped to a [`quantum`](QueryCache::quantum) grid) plus the query kind, `k`
+//!   and the **world generation**; each bucket is direct-mapped (one slot).  A hit
+//!   additionally requires the stored key to match the query's scalars *bit for bit* — two
+//!   queries that merely share a grid cell never serve each other's results, they just
+//!   compete for the slot.
+//! * **Invalidation is free.**  The generation is part of the key, and PR 7's
+//!   [`WorldView`](crate::WorldView) bumps it on every content change (and *only* on content
+//!   changes — compaction preserves it).  A cached entry from an older world is simply never
+//!   looked up again; stale slots are overwritten by the direct-mapped replacement or
+//!   dropped by capacity eviction.
+//! * **Bit-identity.**  A hit replays the stored result *and the stored
+//!   [`QueryStats`]* verbatim.  Queries are deterministic at a fixed generation, so the
+//!   replay equals what a fresh traversal would have produced — engines running with and
+//!   without the cache produce identical protocol counters, which is what lets the
+//!   monitoring engine adopt the cache without perturbing any measurement
+//!   (`tests/engine_parity.rs`).
+//! * **Concurrency.**  The cache is sharded into lock stripes selected by key hash; shard
+//!   workers advancing different sessions contend only when their queries collide on a
+//!   stripe.  Two racing misses on the same key both compute (identical) results and both
+//!   insert — the second insert is a harmless overwrite.
+//!
+//! Hit/miss/insert/evict totals are kept as process-wide atomics ([`QueryCache::stats`]);
+//! the engine snapshots them around each tick to surface per-tick deltas.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use mpn_geom::Point;
+
+use crate::gnn::{Aggregate, GnnNeighbor};
+use crate::rtree::{PoiEntry, QueryStats};
+
+/// Default number of lock stripes (power of two so the hash folds evenly).
+pub const DEFAULT_CACHE_STRIPES: usize = 64;
+/// Default bound on entries per stripe; past it an arbitrary entry is evicted.
+pub const DEFAULT_STRIPE_CAPACITY: usize = 128;
+/// Default quantization grid for bucketing query scalars.  Far below any meaningful
+/// coordinate difference in the paper's kilometre-scale domains: queries that differ by
+/// less share a bucket (and evict each other), queries that differ by more never meet.
+pub const DEFAULT_CACHE_QUANTUM: f64 = 1e-6;
+
+/// Cumulative counters of one [`QueryCache`] (process-wide, monotonically increasing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a real traversal.
+    pub misses: u64,
+    /// Entries written (every miss inserts; racing misses may insert the same key twice).
+    pub insertions: u64,
+    /// Entries dropped to keep a stripe under its capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from the cache (0.0 when none happened).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The counter deltas since an `earlier` snapshot (saturating, so a stale snapshot
+    /// never underflows).
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            insertions: self.insertions.saturating_sub(earlier.insertions),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+/// Which query shape a key belongs to.  Part of the key, so the three query families never
+/// collide on content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum QueryKind {
+    /// [`IndexView::top_k`](crate::IndexView::top_k) under an aggregate with a `k`.
+    TopK { aggregate: Aggregate, k: usize },
+    /// [`IndexView::candidates_within_user_radii`](crate::IndexView::candidates_within_user_radii).
+    UserRadii,
+    /// [`IndexView::candidates_within_sum_radius`](crate::IndexView::candidates_within_sum_radius).
+    SumRadius,
+}
+
+/// A fully resolved cache key: the bucket (quantized) hash plus the exact scalars that must
+/// match bit for bit for a hit.
+#[derive(Debug)]
+pub(crate) struct CacheKey {
+    kind: QueryKind,
+    generation: u64,
+    /// Bucket selector: hash over kind, generation and *quantized* scalars.
+    bucket: u64,
+    /// Exact match material: every query scalar as its IEEE-754 bit pattern, in a fixed
+    /// order (user coordinates, then radii / threshold).
+    exact: Vec<u64>,
+}
+
+impl CacheKey {
+    fn build(
+        kind: QueryKind,
+        generation: u64,
+        users: &[Point],
+        extra: &[f64],
+        quantum: f64,
+    ) -> Self {
+        let mut exact = Vec::with_capacity(users.len() * 2 + extra.len());
+        for user in users {
+            exact.push(user.x.to_bits());
+            exact.push(user.y.to_bits());
+        }
+        exact.extend(extra.iter().map(|v| v.to_bits()));
+
+        // DefaultHasher is deterministic when built directly (fixed SipHash keys), unlike a
+        // HashMap's per-instance RandomState — the bucket of a query must not depend on
+        // which cache instance computes it.
+        let mut hasher = DefaultHasher::new();
+        kind.hash(&mut hasher);
+        generation.hash(&mut hasher);
+        for user in users {
+            quantize(user.x, quantum).hash(&mut hasher);
+            quantize(user.y, quantum).hash(&mut hasher);
+        }
+        for value in extra {
+            quantize(*value, quantum).hash(&mut hasher);
+        }
+        let bucket = hasher.finish();
+        Self { kind, generation, bucket, exact }
+    }
+
+    fn matches(&self, other: &CacheKey) -> bool {
+        self.kind == other.kind && self.generation == other.generation && self.exact == other.exact
+    }
+}
+
+/// Snaps a scalar to its grid cell index.  Non-finite values collapse onto sentinel cells —
+/// the exact-match check still separates them.
+fn quantize(value: f64, quantum: f64) -> i64 {
+    if value.is_finite() {
+        (value / quantum).round() as i64
+    } else if value.is_nan() {
+        i64::MIN
+    } else if value > 0.0 {
+        i64::MAX
+    } else {
+        i64::MIN + 1
+    }
+}
+
+/// What a cache slot stores: the query's full result plus the traversal statistics it cost,
+/// replayed verbatim on a hit.
+#[derive(Debug, Clone)]
+enum Payload {
+    Neighbors(Vec<GnnNeighbor>, QueryStats),
+    Entries(Vec<PoiEntry>, QueryStats),
+}
+
+/// One lock stripe: open-addressed on the key's hash, storing the full key for the
+/// exact-match check.
+type Stripe = Mutex<HashMap<u64, (CacheKey, Payload)>>;
+
+/// A sharded, lock-striped, generation-keyed result cache shared by every session
+/// monitoring the same world.  See the [module docs](self) for keying, invalidation and the
+/// bit-identity contract.
+#[derive(Debug)]
+pub struct QueryCache {
+    stripes: Box<[Stripe]>,
+    quantum: f64,
+    stripe_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for QueryCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryCache {
+    /// Creates a cache with the default stripe count, per-stripe capacity and quantum.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_stripes(DEFAULT_CACHE_STRIPES)
+    }
+
+    /// Creates a cache with `stripes` lock stripes (clamped to at least 1).
+    #[must_use]
+    pub fn with_stripes(stripes: usize) -> Self {
+        Self {
+            stripes: (0..stripes.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
+            quantum: DEFAULT_CACHE_QUANTUM,
+            stripe_capacity: DEFAULT_STRIPE_CAPACITY,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the quantization grid for bucketing (clamped to a positive value).
+    #[must_use]
+    pub fn with_quantum(mut self, quantum: f64) -> Self {
+        self.quantum = if quantum > 0.0 { quantum } else { DEFAULT_CACHE_QUANTUM };
+        self
+    }
+
+    /// Sets the per-stripe entry bound (clamped to at least 1).
+    #[must_use]
+    pub fn with_stripe_capacity(mut self, capacity: usize) -> Self {
+        self.stripe_capacity = capacity.max(1);
+        self
+    }
+
+    /// The quantization grid used for bucketing.
+    #[must_use]
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// Cumulative hit/miss/insert/evict counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of cached entries across all stripes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stripes.iter().map(|s| lock(s).len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stripes.iter().all(|s| lock(s).is_empty())
+    }
+
+    /// Drops every entry (counters are kept — they are lifetime totals).
+    pub fn clear(&self) {
+        for stripe in self.stripes.iter() {
+            lock(stripe).clear();
+        }
+    }
+
+    pub(crate) fn top_k_key(
+        &self,
+        generation: u64,
+        users: &[Point],
+        aggregate: Aggregate,
+        k: usize,
+    ) -> CacheKey {
+        CacheKey::build(QueryKind::TopK { aggregate, k }, generation, users, &[], self.quantum)
+    }
+
+    pub(crate) fn user_radii_key(
+        &self,
+        generation: u64,
+        users: &[Point],
+        radii: &[f64],
+    ) -> CacheKey {
+        CacheKey::build(QueryKind::UserRadii, generation, users, radii, self.quantum)
+    }
+
+    pub(crate) fn sum_radius_key(
+        &self,
+        generation: u64,
+        users: &[Point],
+        threshold: f64,
+    ) -> CacheKey {
+        CacheKey::build(QueryKind::SumRadius, generation, users, &[threshold], self.quantum)
+    }
+
+    pub(crate) fn get_neighbors(&self, key: &CacheKey) -> Option<(Vec<GnnNeighbor>, QueryStats)> {
+        match self.get(key) {
+            Some(Payload::Neighbors(neighbors, stats)) => Some((neighbors, stats)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn get_entries(&self, key: &CacheKey) -> Option<(Vec<PoiEntry>, QueryStats)> {
+        match self.get(key) {
+            Some(Payload::Entries(entries, stats)) => Some((entries, stats)),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn put_neighbors(
+        &self,
+        key: CacheKey,
+        neighbors: &[GnnNeighbor],
+        stats: QueryStats,
+    ) {
+        self.put(key, Payload::Neighbors(neighbors.to_vec(), stats));
+    }
+
+    pub(crate) fn put_entries(&self, key: CacheKey, entries: &[PoiEntry], stats: QueryStats) {
+        self.put(key, Payload::Entries(entries.to_vec(), stats));
+    }
+
+    fn stripe(&self, key: &CacheKey) -> &Mutex<HashMap<u64, (CacheKey, Payload)>> {
+        &self.stripes[(key.bucket % self.stripes.len() as u64) as usize]
+    }
+
+    fn get(&self, key: &CacheKey) -> Option<Payload> {
+        let stripe = lock(self.stripe(key));
+        match stripe.get(&key.bucket) {
+            // The bucket is direct-mapped: a slot whose exact scalars differ (a quantization
+            // or hash collision) is a miss, never a wrong answer.
+            Some((stored, payload)) if stored.matches(key) => {
+                let payload = payload.clone();
+                drop(stripe);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload)
+            }
+            _ => {
+                drop(stripe);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: CacheKey, payload: Payload) {
+        let mut stripe = lock(self.stripe(&key));
+        if stripe.len() >= self.stripe_capacity && !stripe.contains_key(&key.bucket) {
+            // Crude eviction: drop an arbitrary entry.  Entries of dead generations are the
+            // common victims in practice — they are never looked up again, only displaced.
+            if let Some(&victim) = stripe.keys().next() {
+                stripe.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        stripe.insert(key.bucket, (key, payload));
+        drop(stripe);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtree::RTree;
+    use crate::world::WorldView;
+
+    fn grid_tree(n: usize) -> RTree {
+        let side = (n as f64).sqrt().ceil() as usize;
+        let points: Vec<Point> =
+            (0..n).map(|i| Point::new((i % side) as f64, (i / side) as f64)).collect();
+        RTree::bulk_load(&points)
+    }
+
+    #[test]
+    fn hits_replay_results_and_stats_verbatim() {
+        let world = WorldView::new(grid_tree(100));
+        let cache = QueryCache::new();
+        let users = [Point::new(3.0, 4.0), Point::new(6.0, 2.0)];
+
+        let cached_view = world.view().with_cache(&cache);
+        let (fresh, fresh_stats) = world.view().top_k(&users, Aggregate::Max, 5);
+        let (miss, miss_stats) = cached_view.top_k(&users, Aggregate::Max, 5);
+        let (hit, hit_stats) = cached_view.top_k(&users, Aggregate::Max, 5);
+
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        for (got, want) in [(&miss, &fresh), (&hit, &fresh)] {
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(want.iter()) {
+                assert_eq!(g.entry.id, w.entry.id);
+                assert_eq!(g.dist.to_bits(), w.dist.to_bits(), "bit-identical distances");
+            }
+        }
+        assert_eq!(miss_stats, fresh_stats);
+        assert_eq!(hit_stats, fresh_stats, "a hit replays the original traversal stats");
+    }
+
+    #[test]
+    fn all_three_query_families_cache_independently() {
+        let world = WorldView::new(grid_tree(64));
+        let cache = QueryCache::new();
+        let view = world.view().with_cache(&cache);
+        let users = [Point::new(2.0, 2.0), Point::new(5.0, 5.0)];
+
+        let _ = view.top_k(&users, Aggregate::Sum, 3);
+        let _ = view.candidates_within_user_radii(&users, &[4.0, 4.0]);
+        let _ = view.candidates_within_sum_radius(&users, 9.0);
+        assert_eq!(cache.stats().misses, 3, "three distinct keys");
+        let _ = view.top_k(&users, Aggregate::Sum, 3);
+        let _ = view.candidates_within_user_radii(&users, &[4.0, 4.0]);
+        let _ = view.candidates_within_sum_radius(&users, 9.0);
+        assert_eq!(cache.stats().hits, 3);
+
+        // Same scalars, different k / aggregate / radii: distinct keys, not wrong answers.
+        let (a, _) = view.top_k(&users, Aggregate::Max, 3);
+        let (b, _) = view.top_k(&users, Aggregate::Sum, 4);
+        assert_eq!(cache.stats().misses, 5);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn a_generation_bump_invalidates_without_any_bookkeeping() {
+        let mut world = WorldView::new(grid_tree(49));
+        let cache = QueryCache::new();
+        let users = [Point::new(3.4, 3.0)];
+
+        let (before, _) = world.view().with_cache(&cache).top_k(&users, Aggregate::Max, 1);
+        world.insert(Point::new(3.5, 3.0)); // closer than any grid point
+        let (after, _) = world.view().with_cache(&cache).top_k(&users, Aggregate::Max, 1);
+        assert_ne!(before[0].entry.id, after[0].entry.id, "the new POI wins");
+        assert_eq!(cache.stats().hits, 0, "the generation bump turned the lookup into a miss");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn quantized_neighbors_share_a_bucket_but_never_an_answer() {
+        let world = WorldView::new(grid_tree(100));
+        let cache = QueryCache::new().with_quantum(0.5);
+        let view = world.view().with_cache(&cache);
+
+        // Two queries within one 0.5-cell: the second displaces the first (direct-mapped),
+        // both compute fresh results.
+        let (a, _) = view.top_k(&[Point::new(3.0, 3.0)], Aggregate::Max, 1);
+        let (b, _) = view.top_k(&[Point::new(3.1, 3.0)], Aggregate::Max, 1);
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(a[0].entry.id, b[0].entry.id, "same nearest grid point");
+        let (_, stats_a) = world.view().top_k(&[Point::new(3.1, 3.0)], Aggregate::Max, 1);
+        let (b2, stats_b2) = view.top_k(&[Point::new(3.1, 3.0)], Aggregate::Max, 1);
+        assert_eq!(cache.stats().hits, 1, "the exact repeat hits");
+        assert_eq!(b2[0].entry.id, b[0].entry.id);
+        assert_eq!(stats_b2, stats_a);
+    }
+
+    #[test]
+    fn stripe_capacity_bounds_the_cache() {
+        let world = WorldView::new(grid_tree(100));
+        let cache = QueryCache::with_stripes(1).with_stripe_capacity(4);
+        let view = world.view().with_cache(&cache);
+        for i in 0..32 {
+            let _ = view.top_k(&[Point::new(i as f64, 0.0)], Aggregate::Max, 2);
+        }
+        assert!(cache.len() <= 4, "one stripe capped at 4 entries, got {}", cache.len());
+        assert_eq!(cache.stats().evictions, 28);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().insertions, 32, "counters survive clear");
+    }
+}

@@ -20,13 +20,23 @@
 //! generation-stamped insert/delete overlay (compacted back into the base past a threshold),
 //! and [`IndexView`] is the `Copy` query handle — over a plain tree or a world — that the
 //! engine layers consume.
+//!
+//! Fleets full of near-duplicate groups can share their query results through [`cache`]: a
+//! lock-striped [`QueryCache`] keyed by (quantized query point, k, world generation) is
+//! attached per view ([`IndexView::with_cache`]) and replays results and [`QueryStats`]
+//! bit-identically; the generation key makes invalidation free — a content change simply
+//! turns every older entry into a miss.
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod gnn;
 pub mod rtree;
 pub mod world;
 
+pub use cache::{
+    CacheStats, QueryCache, DEFAULT_CACHE_QUANTUM, DEFAULT_CACHE_STRIPES, DEFAULT_STRIPE_CAPACITY,
+};
 pub use gnn::{Aggregate, GnnNeighbor, GnnSearch};
 pub use rtree::{PoiEntry, QueryStats, RTree, RTreeConfig};
 pub use world::{IndexView, WorldView, DEFAULT_COMPACTION_THRESHOLD};

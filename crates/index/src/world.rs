@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use mpn_geom::Point;
 
+use crate::cache::QueryCache;
 use crate::gnn::{Aggregate, GnnNeighbor, GnnSearch};
 use crate::rtree::{next_generation, PoiEntry, QueryStats, RTree};
 
@@ -106,6 +107,7 @@ impl WorldView {
             base: &self.base,
             overlay: (!self.overlay.is_empty()).then_some(&self.overlay),
             generation: self.generation,
+            cache: None,
         }
     }
 
@@ -212,11 +214,14 @@ pub struct IndexView<'a> {
     base: &'a RTree,
     overlay: Option<&'a Overlay>,
     generation: u64,
+    /// Optional shared result cache consulted by the query methods (see
+    /// [`with_cache`](IndexView::with_cache)).
+    cache: Option<&'a QueryCache>,
 }
 
 impl<'a> From<&'a RTree> for IndexView<'a> {
     fn from(tree: &'a RTree) -> Self {
-        Self { base: tree, overlay: None, generation: tree.generation() }
+        Self { base: tree, overlay: None, generation: tree.generation(), cache: None }
     }
 }
 
@@ -249,11 +254,27 @@ impl<'a> IndexView<'a> {
     }
 
     /// The logical generation of the content served by this view (the plain tree's stamp, or
-    /// the world's logical stamp).  Caches keyed on this value (the §5.4 GNN buffer) detect
-    /// any content change exactly.
+    /// the world's logical stamp).  Caches keyed on this value (the §5.4 GNN buffer, the
+    /// shared [`QueryCache`]) detect any content change exactly.
     #[must_use]
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// Attaches a shared [`QueryCache`]: the three query methods first look their key up at
+    /// this view's generation and insert on a miss.  Results (and [`QueryStats`]) are
+    /// bit-identical with and without the cache — a hit replays what the same query computed
+    /// earlier at the same generation — so attaching a cache is purely a performance choice.
+    #[must_use]
+    pub fn with_cache(mut self, cache: &'a QueryCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached shared result cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&'a QueryCache> {
+        self.cache
     }
 
     fn deleted(&self, id: usize) -> bool {
@@ -287,6 +308,24 @@ impl<'a> IndexView<'a> {
         k: usize,
     ) -> (Vec<GnnNeighbor>, QueryStats) {
         assert!(!users.is_empty(), "GNN search requires at least one user");
+        let Some(cache) = self.cache else {
+            return self.top_k_uncached(users, aggregate, k);
+        };
+        let key = cache.top_k_key(self.generation, users, aggregate, k);
+        if let Some(cached) = cache.get_neighbors(&key) {
+            return cached;
+        }
+        let (neighbors, stats) = self.top_k_uncached(users, aggregate, k);
+        cache.put_neighbors(key, &neighbors, stats);
+        (neighbors, stats)
+    }
+
+    fn top_k_uncached(
+        &self,
+        users: &[Point],
+        aggregate: Aggregate,
+        k: usize,
+    ) -> (Vec<GnnNeighbor>, QueryStats) {
         let Some(overlay) = self.overlay else {
             return GnnSearch::new(self.base, users, aggregate).top_k(k);
         };
@@ -314,6 +353,23 @@ impl<'a> IndexView<'a> {
         users: &[Point],
         radii: &[f64],
     ) -> (Vec<PoiEntry>, QueryStats) {
+        let Some(cache) = self.cache else {
+            return self.candidates_within_user_radii_uncached(users, radii);
+        };
+        let key = cache.user_radii_key(self.generation, users, radii);
+        if let Some(cached) = cache.get_entries(&key) {
+            return cached;
+        }
+        let (entries, stats) = self.candidates_within_user_radii_uncached(users, radii);
+        cache.put_entries(key, &entries, stats);
+        (entries, stats)
+    }
+
+    fn candidates_within_user_radii_uncached(
+        &self,
+        users: &[Point],
+        radii: &[f64],
+    ) -> (Vec<PoiEntry>, QueryStats) {
         let (mut out, mut stats) = self.base.candidates_within_user_radii(users, radii);
         if let Some(overlay) = self.overlay {
             out.retain(|e| !overlay.deletes.contains(&e.id));
@@ -333,6 +389,23 @@ impl<'a> IndexView<'a> {
     /// most `threshold` (Theorem 6 pruning on the base, exact filtering of the overlay).
     #[must_use]
     pub fn candidates_within_sum_radius(
+        &self,
+        users: &[Point],
+        threshold: f64,
+    ) -> (Vec<PoiEntry>, QueryStats) {
+        let Some(cache) = self.cache else {
+            return self.candidates_within_sum_radius_uncached(users, threshold);
+        };
+        let key = cache.sum_radius_key(self.generation, users, threshold);
+        if let Some(cached) = cache.get_entries(&key) {
+            return cached;
+        }
+        let (entries, stats) = self.candidates_within_sum_radius_uncached(users, threshold);
+        cache.put_entries(key, &entries, stats);
+        (entries, stats)
+    }
+
+    fn candidates_within_sum_radius_uncached(
         &self,
         users: &[Point],
         threshold: f64,

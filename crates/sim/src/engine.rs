@@ -43,7 +43,7 @@
 use std::sync::Arc;
 
 use mpn_geom::Point;
-use mpn_index::{IndexView, RTree, WorldView};
+use mpn_index::{IndexView, QueryCache, RTree, WorldView};
 use mpn_pool::WorkerPool;
 
 use crate::metrics::{MonitoringMetrics, ShardLoad};
@@ -153,20 +153,92 @@ pub struct InvalidationSummary {
     pub compacted: bool,
 }
 
+/// Default session-batch size of [`TickExecutor::WorkStealing`]: small enough that a skewed
+/// shard splits into many stealable units, large enough that a batch amortises its deque
+/// round-trip over several sessions.
+pub const DEFAULT_TICK_BATCH: usize = 8;
+
 /// Which executor advances the live shards of a tick.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum TickExecutor {
-    /// Persistent worker pool: one long-lived thread per shard, parked between ticks (the
-    /// default — no per-tick thread churn).
+    /// Persistent worker pool, one monolithic job per live shard: one long-lived thread per
+    /// shard, parked between ticks (the default — no per-tick thread churn).
     #[default]
     WorkerPool,
     /// The historical executor: spawn one scoped thread per live shard on every tick and join
     /// them before the tick returns.  Kept as the parity/benchmark baseline.
     ScopedThreads,
+    /// The persistent pool with *session batches* instead of one job per shard: every live
+    /// shard's sessions are split into chunks of `batch` and pushed onto the shard's own
+    /// worker deque; workers that drain their deque steal batches from stragglers, so one
+    /// hot shard no longer bounds the tick (see `mpn-pool`'s module docs for the deque
+    /// discipline).  Counters are identical to the other executors — only the schedule
+    /// changes, surfaced via [`TickSummary::exec`].
+    WorkStealing {
+        /// Sessions per job (clamped to at least 1).
+        batch: usize,
+    },
+}
+
+impl TickExecutor {
+    /// The work-stealing executor with the default batch size.
+    #[must_use]
+    pub fn work_stealing() -> Self {
+        TickExecutor::WorkStealing { batch: DEFAULT_TICK_BATCH }
+    }
+}
+
+/// Executor diagnostics of one tick: how the work was scheduled and what the shared query
+/// cache did, as opposed to what the fleet computed.
+///
+/// These counters are **not** part of [`TickSummary`]'s equality — they are scheduling
+/// artifacts that legitimately differ between executors, runs and machines (a steal happens
+/// when a worker *happens* to go idle first; a cache hit depends on which racing session got
+/// there first), while the protocol counters are bit-identical by contract.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TickExecCounters {
+    /// Jobs handed to the executor (session batches for
+    /// [`TickExecutor::WorkStealing`], whole shards otherwise).
+    pub batches: usize,
+    /// Jobs a pool worker took from another worker's deque (0 without a pool).
+    pub steals: usize,
+    /// Jobs run by the busiest minus the laziest pool worker after stealing.
+    pub imbalance: usize,
+    /// Shared-cache lookups answered from the cache during this tick (0 without a cache).
+    pub cache_hits: u64,
+    /// Shared-cache lookups that fell through to a real traversal during this tick.
+    pub cache_misses: u64,
+}
+
+impl TickExecCounters {
+    /// Folds another tick's counters into this one (for cumulative engine totals).
+    pub fn absorb(&mut self, other: &TickExecCounters) {
+        self.batches += other.batches;
+        self.steals += other.steals;
+        self.imbalance += other.imbalance;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// Fraction of this tick's shared-cache lookups that hit (0.0 without lookups).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let lookups = self.cache_hits + self.cache_misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / lookups as f64
+        }
+    }
 }
 
 /// Aggregate outcome of one fleet-wide tick.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+///
+/// Equality deliberately covers only the *protocol* counters (everything except
+/// [`exec`](TickSummary::exec)): those are deterministic — identical across executors,
+/// shard counts and cache configurations — and pinned by `tests/engine_parity.rs`, while
+/// the executor diagnostics describe the racy schedule that produced them.
+#[derive(Debug, Clone, Copy, Default)]
 pub struct TickSummary {
     /// Index of the tick (0 = the registration tick of the initially registered groups).
     pub tick: usize,
@@ -191,7 +263,26 @@ pub struct TickSummary {
     /// reused by `register`/`rejoin` leaves this total; its old epoch then only feeds the
     /// fleet-wide reclaimed-epochs aggregate).
     pub retired: usize,
+    /// Executor diagnostics (batches, steals, imbalance, cache hits/misses).  Excluded from
+    /// equality — see the type docs.
+    pub exec: TickExecCounters,
 }
+
+impl PartialEq for TickSummary {
+    fn eq(&self, other: &Self) -> bool {
+        // Protocol counters only: `exec` is a scheduling artifact (see the type docs).
+        self.tick == other.tick
+            && self.advanced == other.advanced
+            && self.updated == other.updated
+            && self.violators == other.violators
+            && self.registered == other.registered
+            && self.finished == other.finished
+            && self.starved == other.starved
+            && self.retired == other.retired
+    }
+}
+
+impl Eq for TickSummary {}
 
 /// Placement weight of one session: its remaining bounded horizon, or
 /// [`OPEN_HORIZON_WEIGHT`] for an open-horizon stream.
@@ -199,12 +290,66 @@ fn session_weight(session: &GroupSession) -> usize {
     session.remaining_horizon().unwrap_or(OPEN_HORIZON_WEIGHT)
 }
 
-/// One shard: a slice of the fleet advanced by a single worker per tick.
+/// Advances one slice of a shard's sessions — a whole shard, or one work-stealing batch —
+/// one epoch each; returns the slice's tick tally and its remaining-work weight.
+///
+/// This is the unit of parallel work.  Sessions are fully independent, so slicing a shard
+/// into batches (and letting idle workers steal them) changes only the schedule, never any
+/// counter.
+fn advance_chunk(
+    sessions: &mut [(GroupId, GroupSession)],
+    view: IndexView<'_>,
+) -> (TickSummary, usize) {
+    let mut tally = TickSummary::default();
+    let mut weight = 0usize;
+    for (_, session) in sessions.iter_mut() {
+        match session.advance(view) {
+            StepOutcome::Finished => {}
+            StepOutcome::Starved => tally.starved += 1,
+            StepOutcome::Registered => {
+                tally.advanced += 1;
+                tally.registered += 1;
+            }
+            StepOutcome::Quiet => tally.advanced += 1,
+            StepOutcome::Updated { violators } => {
+                tally.advanced += 1;
+                tally.updated += 1;
+                tally.violators += violators;
+            }
+        }
+        if session.is_finished() {
+            tally.finished += 1;
+        }
+        // The tick is the one place sessions' remaining horizons change, and it already
+        // walks every session — refresh the cached weight for free, on the worker.
+        weight = weight.saturating_add(session_weight(session));
+    }
+    (tally, weight)
+}
+
+/// Folds one tally's protocol counters into an accumulator (the per-tick bookkeeping fields
+/// — `tick`, `retired`, `exec` — are filled in by the caller, not summed).
+fn merge_counts(acc: &mut TickSummary, t: &TickSummary) {
+    acc.advanced += t.advanced;
+    acc.updated += t.updated;
+    acc.violators += t.violators;
+    acc.registered += t.registered;
+    acc.finished += t.finished;
+    acc.starved += t.starved;
+}
+
+/// One shard: a slice of the fleet advanced by a single worker per tick (or, under
+/// [`TickExecutor::WorkStealing`], split into stealable session batches).
 #[derive(Debug, Default)]
 struct Shard {
     sessions: Vec<(GroupId, GroupSession)>,
     /// Ticks during which this shard had no live session (no worker was woken for it).
     idle_ticks: usize,
+    /// Ticks during which this shard *had* live sessions but advanced none of them — every
+    /// live session starved (slow-reporting clients).  Disjoint from
+    /// [`idle_ticks`](Shard::idle_ticks): a starved shard still costs a worker wake-up and
+    /// still holds remaining work, so placement must not treat it as free capacity.
+    starved_ticks: usize,
     /// Cached remaining work (the sum of [`session_weight`] over `sessions`), maintained
     /// incrementally: adjusted on placement and deregistration, recomputed by
     /// [`advance_all`](Shard::advance_all) while the tick is already visiting every session.
@@ -216,32 +361,18 @@ struct Shard {
 impl Shard {
     /// Advances every live session one epoch; returns this shard's tick tally.
     fn advance_all(&mut self, view: IndexView<'_>) -> TickSummary {
-        let mut tally = TickSummary::default();
-        let mut weight = 0usize;
-        for (_, session) in &mut self.sessions {
-            match session.advance(view) {
-                StepOutcome::Finished => {}
-                StepOutcome::Starved => tally.starved += 1,
-                StepOutcome::Registered => {
-                    tally.advanced += 1;
-                    tally.registered += 1;
-                }
-                StepOutcome::Quiet => tally.advanced += 1,
-                StepOutcome::Updated { violators } => {
-                    tally.advanced += 1;
-                    tally.updated += 1;
-                    tally.violators += violators;
-                }
-            }
-            if session.is_finished() {
-                tally.finished += 1;
-            }
-            // The tick is the one place sessions' remaining horizons change, and it already
-            // walks every session — refresh the cached weight for free, on the worker.
-            weight = weight.saturating_add(session_weight(session));
-        }
+        let (tally, weight) = advance_chunk(&mut self.sessions, view);
         self.weight = weight;
+        self.note_tick_outcome(&tally);
         tally
+    }
+
+    /// Records the starved-tick counter from a completed tick's tally (the shard was woken,
+    /// so it was live; if nothing advanced, every live session starved).
+    fn note_tick_outcome(&mut self, tally: &TickSummary) {
+        if tally.advanced == 0 && tally.starved > 0 {
+            self.starved_ticks += 1;
+        }
     }
 
     /// The invalidation pass of one world change: evaluates the break predicate for every
@@ -300,9 +431,16 @@ pub struct MonitoringEngine {
     reclaimed: MonitoringMetrics,
     clock: usize,
     executor: TickExecutor,
-    /// Present iff `executor == WorkerPool` and there is more than one shard (a single shard
+    /// Present iff the executor is pool-backed ([`TickExecutor::WorkerPool`] or
+    /// [`TickExecutor::WorkStealing`]) and there is more than one shard (a single shard
     /// always ticks inline).
     pool: Option<WorkerPool>,
+    /// Optional fleet-wide shared query cache, attached to every tick's [`IndexView`] so
+    /// near-duplicate groups reuse candidate lists within a generation.
+    cache: Option<Arc<QueryCache>>,
+    /// Executor diagnostics accumulated over every tick so far (batches, steals, cache
+    /// traffic) — the lifetime counterpart of the per-tick [`TickSummary::exec`].
+    exec_totals: TickExecCounters,
 }
 
 impl MonitoringEngine {
@@ -337,8 +475,9 @@ impl MonitoringEngine {
         let world = WorldView::new(tree.into());
         assert!(!world.is_empty(), "monitoring requires a non-empty POI set");
         let num_shards = num_shards.max(1);
-        let pool = (executor == TickExecutor::WorkerPool && num_shards > 1)
-            .then(|| WorkerPool::new(num_shards));
+        let pooled =
+            matches!(executor, TickExecutor::WorkerPool | TickExecutor::WorkStealing { .. });
+        let pool = (pooled && num_shards > 1).then(|| WorkerPool::new(num_shards));
         Self {
             world,
             shards: (0..num_shards).map(|_| Shard::default()).collect(),
@@ -348,7 +487,37 @@ impl MonitoringEngine {
             clock: 0,
             executor,
             pool,
+            cache: None,
+            exec_totals: TickExecCounters::default(),
         }
+    }
+
+    /// Attaches a fleet-wide shared query cache: every tick (and every
+    /// [`apply_world_change`](MonitoringEngine::apply_world_change) invalidation pass)
+    /// queries the index through it, so groups monitoring the same region reuse candidate
+    /// lists within a world generation.  Pass a pre-shared [`Arc`] to share one cache across
+    /// several engines watching the same world.
+    ///
+    /// Results are replayed bit-identically (see [`QueryCache`]), so counters do not change —
+    /// only [`QueryStats`](mpn_index::QueryStats) node-access work is saved.  Per-tick hit /
+    /// miss deltas land on [`TickSummary::exec`].
+    #[must_use]
+    pub fn with_query_cache(mut self, cache: impl Into<Arc<QueryCache>>) -> Self {
+        self.cache = Some(cache.into());
+        self
+    }
+
+    /// The shared query cache, when one is attached.
+    #[must_use]
+    pub fn query_cache(&self) -> Option<&Arc<QueryCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Executor diagnostics accumulated over every tick so far: total batches dispatched,
+    /// batches stolen across workers, summed per-tick imbalance, and query-cache traffic.
+    #[must_use]
+    pub fn exec_totals(&self) -> TickExecCounters {
+        self.exec_totals
     }
 
     /// Creates an engine with one shard per available CPU.
@@ -567,7 +736,10 @@ impl MonitoringEngine {
         }
         assert!(!self.world.is_empty(), "a POI delete may not empty the monitored world");
 
-        let view = self.world.view();
+        let view = match self.cache.as_deref() {
+            Some(cache) => self.world.view().with_cache(cache),
+            None => self.world.view(),
+        };
         let change = &change;
         let occupied: Vec<&mut Shard> =
             self.shards.iter_mut().filter(|s| !s.sessions.is_empty()).collect();
@@ -697,7 +869,8 @@ impl MonitoringEngine {
         self.sessions().all(GroupSession::is_finished)
     }
 
-    /// Per-shard occupancy, idle-tick and remaining-work counters, in shard order.
+    /// Per-shard occupancy, idle-tick, starved-tick and remaining-work counters, in shard
+    /// order.
     #[must_use]
     pub fn shard_loads(&self) -> Vec<ShardLoad> {
         self.shards
@@ -708,6 +881,7 @@ impl MonitoringEngine {
                 occupancy: s.sessions.len(),
                 live: s.sessions.iter().filter(|(_, session)| !session.is_finished()).count(),
                 idle_ticks: s.idle_ticks,
+                starved_ticks: s.starved_ticks,
                 weight: s.weight,
             })
             .collect()
@@ -723,7 +897,11 @@ impl MonitoringEngine {
     /// per-group metrics are identical to a serial replay regardless of shard count and
     /// executor.
     pub fn tick(&mut self) -> TickSummary {
-        let view = self.world.view();
+        let cache_before = self.cache.as_deref().map(QueryCache::stats);
+        let view = match self.cache.as_deref() {
+            Some(cache) => self.world.view().with_cache(cache),
+            None => self.world.view(),
+        };
         let mut live: Vec<&mut Shard> = Vec::with_capacity(self.shards.len());
         let mut already_finished = 0usize;
         for shard in &mut self.shards {
@@ -734,7 +912,64 @@ impl MonitoringEngine {
                 already_finished += shard.sessions.len();
             }
         }
-        let tallies: Vec<TickSummary> = if live.len() <= 1 {
+        let stealing_batch = match self.executor {
+            TickExecutor::WorkStealing { batch } => Some(batch.max(1)),
+            _ => None,
+        };
+        let mut exec = TickExecCounters::default();
+        let tallies: Vec<TickSummary> = if live.is_empty() {
+            Vec::new()
+        } else if let (Some(batch), Some(pool)) = (stealing_batch, self.pool.as_mut()) {
+            // Work-stealing path: split every live shard into stealable session batches.  A
+            // single live shard deliberately still goes through the pool — that is exactly
+            // the skewed case where its batches must spread over idle workers.
+            let workers = pool.worker_count();
+            let mut chunk_owner: Vec<usize> = Vec::new();
+            let mut per_chunk: Vec<Option<(TickSummary, usize)>>;
+            {
+                let mut chunks: Vec<&mut [(GroupId, GroupSession)]> = Vec::new();
+                for (owner, shard) in live.iter_mut().enumerate() {
+                    for chunk in shard.sessions.chunks_mut(batch) {
+                        chunk_owner.push(owner);
+                        chunks.push(chunk);
+                    }
+                }
+                per_chunk = vec![None; chunks.len()];
+                pool.scoped(|scope| {
+                    for ((owner, chunk), slot) in
+                        chunk_owner.iter().zip(chunks).zip(per_chunk.iter_mut())
+                    {
+                        scope.execute_on(owner % workers, move || {
+                            *slot = Some(advance_chunk(chunk, view));
+                        });
+                    }
+                });
+            }
+            let stats = pool.last_scope_stats();
+            exec.batches = stats.jobs;
+            exec.steals = stats.steals;
+            exec.imbalance = stats.imbalance();
+            // Merge the chunk tallies back per shard: the shard's weight is the sum over its
+            // chunks, and its starved-tick counter looks at the whole-shard tally.
+            let mut merged: Vec<(TickSummary, usize)> =
+                vec![(TickSummary::default(), 0); live.len()];
+            for (owner, slot) in chunk_owner.into_iter().zip(per_chunk) {
+                let (tally, weight) = slot.expect("the scope barrier ran every job");
+                let (acc, total_weight) = &mut merged[owner];
+                merge_counts(acc, &tally);
+                *total_weight = total_weight.saturating_add(weight);
+            }
+            merged
+                .into_iter()
+                .zip(live)
+                .map(|((tally, weight), shard)| {
+                    shard.weight = weight;
+                    shard.note_tick_outcome(&tally);
+                    tally
+                })
+                .collect()
+        } else if live.len() == 1 {
+            exec.batches = 1;
             live.into_iter().map(|shard| shard.advance_all(view)).collect()
         } else if let Some(pool) = &mut self.pool {
             let mut slots: Vec<Option<TickSummary>> = vec![None; live.len()];
@@ -743,6 +978,10 @@ impl MonitoringEngine {
                     scope.execute(move || *slot = Some(shard.advance_all(view)));
                 }
             });
+            let stats = pool.last_scope_stats();
+            exec.batches = stats.jobs;
+            exec.steals = stats.steals;
+            exec.imbalance = stats.imbalance();
             slots.into_iter().map(|t| t.expect("the scope barrier ran every job")).collect()
         } else {
             std::thread::scope(|scope| {
@@ -750,6 +989,7 @@ impl MonitoringEngine {
                     .into_iter()
                     .map(|shard| scope.spawn(move || shard.advance_all(view)))
                     .collect();
+                exec.batches = handles.len();
                 handles
                     .into_iter()
                     .map(|h| h.join().expect("monitoring shard thread panicked"))
@@ -757,14 +997,16 @@ impl MonitoringEngine {
             })
         };
         let mut summary = tallies.into_iter().fold(TickSummary::default(), |mut acc, t| {
-            acc.advanced += t.advanced;
-            acc.updated += t.updated;
-            acc.violators += t.violators;
-            acc.registered += t.registered;
-            acc.finished += t.finished;
-            acc.starved += t.starved;
+            merge_counts(&mut acc, &t);
             acc
         });
+        if let (Some(before), Some(cache)) = (cache_before, self.cache.as_deref()) {
+            let delta = cache.stats().since(&before);
+            exec.cache_hits = delta.hits;
+            exec.cache_misses = delta.misses;
+        }
+        summary.exec = exec;
+        self.exec_totals.absorb(&summary.exec);
         summary.finished += already_finished;
         summary.retired = self.retired_count();
         summary.tick = self.clock;

@@ -89,6 +89,34 @@
 //!   machinery (see `mpn-net`'s crate docs for the idle-connection delivery and ordering
 //!   guarantees).
 //!
+//! # Shared caches and when they help
+//!
+//! Ticks can route every index query through a fleet-wide, lock-striped
+//! [`mpn_index::QueryCache`] attached via [`MonitoringEngine::with_query_cache`] (or
+//! [`ServerCore::with_engine`] for the server paths).  The cache is keyed by
+//! *(query kind, quantized query geometry, k, world generation)* and replays candidate lists
+//! **and** their [`mpn_index::QueryStats`] verbatim, so counters stay bit-identical with or
+//! without it — only repeated R-tree / GNN traversal work is saved.  The generation in the
+//! key makes invalidation free: after [`MonitoringEngine::apply_world_change`] bumps the
+//! generation, every older entry is simply never looked up again (and is eventually evicted
+//! by capacity), with no flush pass and no cross-tick bookkeeping.
+//!
+//! When does it help?  Exactly when distinct sessions ask *bit-identical* questions within
+//! one generation: flash-crowd fleets (many groups converging on the same venue share GNN
+//! candidate lists), replicated monitors (several subscribers watching the same group), or
+//! dense fleets whose groups quantize onto the same grid cell.  It does **not** help a fleet
+//! of geometrically unique groups — every lookup is a miss plus an insert — which is why the
+//! cache is opt-in rather than default.  Hit/miss deltas per tick are reported on
+//! [`TickSummary::exec`] ([`TickExecCounters`]) and as engine-lifetime totals on
+//! [`MonitoringEngine::exec_totals`], so a deployment can measure its own hit rate and drop
+//! the cache when it pays for nothing.
+//!
+//! The same `exec` counters expose the work-stealing executor
+//! ([`TickExecutor::WorkStealing`]): ticks dispatch stealable session *batches* instead of
+//! one monolithic job per shard, so idle workers finish a straggling hot shard's tail
+//! (`steals`, `imbalance`).  Like the cache, stealing changes only the schedule — every
+//! protocol counter stays identical to the serial replay.
+//!
 //! [`run_monitoring`] remains as the single-group compatibility wrapper (bit-identical
 //! counters to the historical stateless loop, pinned by `tests/engine_parity.rs`) and
 //! [`experiment::run_workload`] drives a whole multi-group workload through the engine,
@@ -104,8 +132,8 @@ pub mod monitor;
 pub mod server;
 
 pub use engine::{
-    EpochUpdate, GroupId, InvalidationSummary, MonitoringEngine, SubmitError, TickExecutor,
-    TickSummary, WorldChange, OPEN_HORIZON_WEIGHT,
+    EpochUpdate, GroupId, InvalidationSummary, MonitoringEngine, SubmitError, TickExecCounters,
+    TickExecutor, TickSummary, WorldChange, DEFAULT_TICK_BATCH, OPEN_HORIZON_WEIGHT,
 };
 pub use experiment::{run_workload, run_workload_sharded, WorkloadSummary};
 pub use message::{Message, MessageKind, Traffic};

@@ -14,7 +14,10 @@ use crate::message::Traffic;
 /// the shard's sessions, open-horizon streams charged
 /// [`OPEN_HORIZON_WEIGHT`](crate::engine::OPEN_HORIZON_WEIGHT)); `idle_ticks` counts the
 /// ticks for which the shard's worker was *not* woken (every session finished, or none
-/// registered), i.e. how much executor work the live-shard filter saved.
+/// registered), i.e. how much executor work the live-shard filter saved.  `starved_ticks`
+/// counts ticks where the shard *was* woken but advanced nothing because every live session
+/// starved for input — those shards still hold remaining work and a worker wake-up, so
+/// placement must not confuse them with truly idle capacity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShardLoad {
     /// Index of the shard.
@@ -25,6 +28,9 @@ pub struct ShardLoad {
     pub live: usize,
     /// Ticks during which the shard had no live session and was skipped by the executor.
     pub idle_ticks: usize,
+    /// Ticks during which the shard was woken with live sessions but advanced none of them
+    /// (all starved — typically slow-reporting clients).  Disjoint from `idle_ticks`.
+    pub starved_ticks: usize,
     /// Remaining work: the sum of the sessions' remaining (or open-horizon) epoch weights.
     pub weight: usize,
 }

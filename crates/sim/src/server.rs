@@ -111,8 +111,16 @@ impl ServerCore {
     /// Panics when the POI tree is empty.
     #[must_use]
     pub fn new(tree: impl Into<Arc<RTree>>, num_shards: usize) -> Self {
+        Self::with_engine(MonitoringEngine::new(tree, num_shards))
+    }
+
+    /// Creates a core around a pre-configured engine — the hook for non-default executors
+    /// ([`TickExecutor::WorkStealing`](crate::TickExecutor)) and a shared
+    /// [`QueryCache`](mpn_index::QueryCache), which have no wire-level knobs.
+    #[must_use]
+    pub fn with_engine(engine: MonitoringEngine) -> Self {
         Self {
-            engine: MonitoringEngine::new(tree, num_shards),
+            engine,
             queue: VecDeque::new(),
             owners: HashMap::new(),
             backlog: 0,
@@ -380,6 +388,12 @@ impl MonitoringServer {
     #[must_use]
     pub fn new(tree: impl Into<Arc<RTree>>, num_shards: usize) -> Self {
         Self { core: ServerCore::new(tree, num_shards) }
+    }
+
+    /// Creates a server around a pre-configured engine (see [`ServerCore::with_engine`]).
+    #[must_use]
+    pub fn with_engine(engine: MonitoringEngine) -> Self {
+        Self { core: ServerCore::with_engine(engine) }
     }
 
     /// The underlying engine, for telemetry (fleet metrics, shard loads, per-group state).

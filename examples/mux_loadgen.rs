@@ -18,12 +18,17 @@
 //!    forced recomputations and unsolicited `WorldUpdate` pushes.  The latency delta
 //!    between the phases prices the whole mutable-world machinery.
 //!
-//! Results land in `BENCH_7.json` with a latency block per phase.
+//! Since PR 8 the shared engine runs the work-stealing tick executor with the fleet-wide
+//! query cache attached (every connection replays the same trajectory, so each epoch asks
+//! the same question a thousand times — the flash-crowd case the cache exists for).  Each
+//! phase reports the executor counters (batches, steals, cache hit rate) alongside latency.
+//!
+//! Results land in `BENCH_8.json` with a latency block per phase.
 //!
 //! Environment knobs (defaults in parentheses): `MPN_CONNS` (1024) total connections,
 //! `MPN_EPOCHS` (20) reports per connection, `MPN_GROUP` (3) users per group, `MPN_SHARDS`
 //! (4) engine shards, `MPN_CLIENT_THREADS` (8), `MPN_CHURN_MS` (25) milliseconds between
-//! world changes, `MPN_OUT` (`BENCH_7.json`).
+//! world changes, `MPN_OUT` (`BENCH_8.json`).
 //!
 //! Run with: `cargo run --release --example mux_loadgen`
 
@@ -36,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use mpn::core::{Method, MpnServer, Objective};
 use mpn::geom::Point;
-use mpn::index::RTree;
+use mpn::index::{QueryCache, RTree};
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
 use mpn::mobility::Trajectory;
@@ -44,8 +49,7 @@ use mpn::net::{read_batch, MuxConfig, MuxServer, MuxStats};
 use mpn::proto::{
     AdminRequest, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
 };
-use mpn::sim::ServerCore;
-use mpn::sim::TrajectoryFeed;
+use mpn::sim::{MonitoringEngine, ServerCore, TickExecCounters, TickExecutor, TrajectoryFeed};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -69,7 +73,7 @@ fn main() {
         threads: env_usize("MPN_CLIENT_THREADS", 8).max(1),
         churn_ms: env_usize("MPN_CHURN_MS", 25) as u64,
     };
-    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_7.json".into());
+    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_8.json".into());
 
     println!(
         "mux loadgen: {} connections x {} epochs, groups of {}, {} shards, {} client threads",
@@ -101,7 +105,7 @@ fn main() {
     churn.print();
 
     let json = format!(
-        "{{\n  \"bench\": \"mux_loadgen\",\n  \"pr\": 7,\n  \"connections\": {conns},\n  \
+        "{{\n  \"bench\": \"mux_loadgen\",\n  \"pr\": 8,\n  \"connections\": {conns},\n  \
          \"epochs_per_client\": {epochs},\n  \"group_size\": {group_size},\n  \
          \"shards\": {shards},\n  \"client_threads\": {threads},\n  \
          \"churn_interval_ms\": {churn_ms},\n  \"baseline\": {baseline},\n  \
@@ -129,6 +133,7 @@ struct PhaseOutcome {
     max: f64,
     world_changes: usize,
     pushes: usize,
+    exec: TickExecCounters,
 }
 
 impl PhaseOutcome {
@@ -152,6 +157,14 @@ impl PhaseOutcome {
                 self.world_changes, self.pushes
             );
         }
+        println!(
+            "executor: {} batches, {} steals, cache {} hits / {} misses ({:.1}% hit rate)",
+            self.exec.batches,
+            self.exec.steals,
+            self.exec.cache_hits,
+            self.exec.cache_misses,
+            self.exec.cache_hit_rate() * 100.0
+        );
     }
 
     fn json(&self) -> String {
@@ -159,7 +172,9 @@ impl PhaseOutcome {
             "{{\n    \"elapsed_ms\": {:.1},\n    \"requests\": {},\n    \
              \"requests_per_sec\": {:.1},\n    \"engine_ticks\": {},\n    \
              \"world_changes\": {},\n    \"world_update_pushes\": {},\n    \
-             \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }}\n  }}",
+             \"latency_ms\": {{ \"p50\": {:.3}, \"p99\": {:.3}, \"max\": {:.3} }},\n    \
+             \"executor\": {{ \"batches\": {}, \"steals\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}, \"cache_hit_rate\": {:.3} }}\n  }}",
             self.elapsed.as_secs_f64() * 1_000.0,
             self.requests,
             self.requests as f64 / self.elapsed.as_secs_f64(),
@@ -169,6 +184,11 @@ impl PhaseOutcome {
             self.p50,
             self.p99,
             self.max,
+            self.exec.batches,
+            self.exec.steals,
+            self.exec.cache_hits,
+            self.exec.cache_misses,
+            self.exec.cache_hit_rate(),
         )
     }
 }
@@ -186,7 +206,15 @@ fn run_phase(knobs: &Knobs, shared_epochs: &Arc<Vec<Vec<Point>>>, churn: bool) -
     let seed =
         MpnServer::new(tree.as_ref(), Objective::Max, Method::circle()).compute(&shared_epochs[0]);
     let (target, spot) = (seed.optimal_index as u64, seed.optimal_point);
-    let core = ServerCore::new(Arc::clone(&tree), knobs.shards);
+    // Work-stealing ticks plus the fleet-wide query cache: a thousand identical groups is
+    // the flash-crowd workload, so all but the first lookup per epoch and generation hit.
+    // Sessions here are cheap (circle method, mostly cache hits), so batches are sized
+    // well above the skewed-fleet default — fine-grained stealing would pay more in deque
+    // traffic than it recovers from these micro-tasks.
+    let executor = TickExecutor::WorkStealing { batch: env_usize("MPN_TICK_BATCH", 64) };
+    let engine = MonitoringEngine::with_executor(Arc::clone(&tree), knobs.shards, executor)
+        .with_query_cache(QueryCache::new());
+    let core = ServerCore::with_engine(engine);
     // Pin per-connection kernel send buffers: at 1k+ sockets the autotuned default would
     // otherwise let slow readers eat megabytes each before backpressure can act.
     let config = MuxConfig { socket_send_buffer: Some(64 << 10), ..MuxConfig::default() };
@@ -280,6 +308,12 @@ fn run_phase(knobs: &Knobs, shared_epochs: &Arc<Vec<Vec<Point>>>, churn: bool) -
     assert_eq!(stats.accepted as usize, expected, "every connection was accepted");
     assert_eq!(server.core().engine().group_count(), 0, "every session deregistered");
     assert!(regions > 0, "the load produced real safe-region traffic");
+    let exec = server.core().engine().exec_totals();
+    assert!(
+        exec.cache_hit_rate() >= 0.5,
+        "identical groups must share the query cache (got {:.1}% hit rate)",
+        exec.cache_hit_rate() * 100.0
+    );
 
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
@@ -292,6 +326,7 @@ fn run_phase(knobs: &Knobs, shared_epochs: &Arc<Vec<Vec<Point>>>, churn: bool) -
         max: *latencies_ms.last().expect("samples"),
         world_changes,
         pushes,
+        exec,
     }
 }
 

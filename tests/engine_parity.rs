@@ -17,14 +17,16 @@ use std::sync::Arc;
 
 use mpn::core::{Method, MpnServer, Objective};
 use mpn::geom::{HeadingPredictor, Point};
-use mpn::index::RTree;
+use mpn::index::{QueryCache, RTree};
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
-use mpn::mobility::waypoint::{taxi_trajectory, TaxiConfig};
+use mpn::mobility::waypoint::{random_waypoint, taxi_trajectory, TaxiConfig, WaypointConfig};
 use mpn::mobility::Trajectory;
 use mpn::sim::{
     run_monitoring, EpochUpdate, Message, MonitorConfig, MonitoringEngine, TickExecutor,
     TickSummary, Traffic, TrajectoryFeed,
 };
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
 
 fn world(groups: usize, seed: u64) -> (Arc<RTree>, Vec<Vec<Trajectory>>) {
     let pois =
@@ -259,6 +261,77 @@ fn pool_executor_matches_the_scoped_thread_executor_tick_for_tick() {
             counters_of(scoped.group_metrics(id)),
             "group {id} diverged between executors"
         );
+    }
+}
+
+/// Small-world fleet for the steal-path property test: `sizes[g]` users per group, all with
+/// the same short bounded horizon, over a modest clustered POI set.
+fn skewed_fleet(sizes: &[usize], horizon: usize) -> (Arc<RTree>, Vec<Vec<Trajectory>>) {
+    let pois = clustered_pois(&PoiConfig { count: 150, domain: 500.0, ..PoiConfig::default() }, 71);
+    let tree = Arc::new(RTree::bulk_load(&pois));
+    let config = WaypointConfig { domain: 500.0, speed_limit: 7.0, timestamps: horizon };
+    let fleet = sizes
+        .iter()
+        .enumerate()
+        .map(|(g, &size)| {
+            (0..size).map(|i| random_waypoint(&config, (g * 31 + i) as u64)).collect()
+        })
+        .collect();
+    (tree, fleet)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The work-stealing executor — session batches, stolen across workers, through the
+    // shared query cache — must produce the *exact* tick-summary sequence and per-group
+    // counters of the scoped-thread executor, for any shard count, any (skewed) batch size
+    // and any skewed mix of group sizes.  Stealing and caching may only change the
+    // schedule, never a counter.
+    #[test]
+    fn stealing_ticks_match_scoped_threads_for_any_skew(
+        shards in 1usize..=8,
+        batch in 1usize..=8,
+        sizes in prop_vec(1usize..=4, 1..11),
+    ) {
+        const HORIZON: usize = 12;
+        let (tree, fleet) = skewed_fleet(&sizes, HORIZON);
+        let config = MonitorConfig::new(Objective::Max, Method::circle())
+            .with_max_timestamps(HORIZON);
+
+        let mut stealing = MonitoringEngine::with_executor(
+            Arc::clone(&tree),
+            shards,
+            TickExecutor::WorkStealing { batch },
+        )
+        .with_query_cache(QueryCache::new());
+        let mut scoped =
+            MonitoringEngine::with_executor(Arc::clone(&tree), shards, TickExecutor::ScopedThreads);
+        for group in &fleet {
+            stealing.register(TrajectoryFeed::from_group(group), config);
+            scoped.register(TrajectoryFeed::from_group(group), config);
+        }
+
+        let mut guard = 0usize;
+        while !stealing.is_finished() {
+            let a = stealing.tick();
+            let b = scoped.tick();
+            prop_assert_eq!(a, b, "tick {} diverged under stealing", guard);
+            guard += 1;
+            prop_assert!(guard <= HORIZON, "bounded fleets finish within their horizon");
+        }
+        prop_assert!(scoped.is_finished());
+        for id in 0..fleet.len() {
+            prop_assert_eq!(
+                counters_of(stealing.group_metrics(id)),
+                counters_of(scoped.group_metrics(id)),
+                "group {} diverged between executors", id
+            );
+        }
+        // The cache saw every query of the run (each tick's lookups are hits + misses).
+        let totals = stealing.exec_totals();
+        prop_assert!(totals.cache_misses > 0, "a fresh cache cannot serve only hits");
+        prop_assert!(totals.batches > 0, "every live tick dispatches at least one batch");
     }
 }
 
