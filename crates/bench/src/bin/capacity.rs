@@ -1,0 +1,70 @@
+//! The million-session capacity sweep (ROADMAP item 5).
+//!
+//! Builds one [`CapacityWorkload`] (POI tree + road network + Zipf trajectory pool) and
+//! runs it at each fleet size of `MPN_CAP_SWEEP` (default `10000,100000,1000000`), printing
+//! the scaling series and writing the JSON report to `MPN_OUT` (default `BENCH_9.json`).
+//! All knobs are environment variables — see the `mpn-bench` crate docs for the table.
+//!
+//! Exits non-zero if any sweep point measures zero throughput, so CI can gate on it.
+
+use std::time::Instant;
+
+use mpn_bench::{render_json, render_table, CapacityConfig, CapacityWorkload};
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let defaults = CapacityConfig::default();
+    let config = CapacityConfig {
+        shards: env_parse("MPN_CAP_SHARDS", defaults.shards),
+        tick_batch: env_parse("MPN_CAP_BATCH", defaults.tick_batch),
+        warmup_ticks: env_parse("MPN_CAP_WARMUP", defaults.warmup_ticks),
+        measure_ticks: env_parse("MPN_CAP_TICKS", defaults.measure_ticks),
+        churn_per_tick: env_parse("MPN_CAP_CHURN", defaults.churn_per_tick),
+        open_fraction: env_parse("MPN_CAP_OPEN", defaults.open_fraction),
+        zipf_skew: env_parse("MPN_CAP_ZIPF", defaults.zipf_skew),
+        distinct_groups: env_parse("MPN_CAP_GROUPS", defaults.distinct_groups),
+        seed: env_parse("MPN_CAP_SEED", defaults.seed),
+        ..defaults
+    };
+    let sweep_sizes: Vec<usize> = std::env::var("MPN_CAP_SWEEP")
+        .unwrap_or_else(|_| "10000,100000,1000000".to_owned())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .collect();
+    assert!(!sweep_sizes.is_empty(), "MPN_CAP_SWEEP must name at least one fleet size");
+    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_9.json".to_owned());
+
+    eprintln!(
+        "capacity: building world (pois={}, groups={}, shards={}, zipf={})",
+        config.poi_count, config.distinct_groups, config.shards, config.zipf_skew
+    );
+    let t_build = Instant::now();
+    let workload = CapacityWorkload::build(config);
+    eprintln!("capacity: world ready in {:.2?}", t_build.elapsed());
+
+    let mut sweep = Vec::with_capacity(sweep_sizes.len());
+    for &sessions in &sweep_sizes {
+        eprintln!("capacity: running fleet of {sessions} sessions");
+        let outcome = workload.run(sessions);
+        eprintln!(
+            "capacity: {sessions} sessions — register {:.2?}, measure {:.2?} ({:.0} session-epochs/s)",
+            outcome.register_elapsed,
+            outcome.measure_elapsed,
+            outcome.session_epochs_per_sec()
+        );
+        assert!(
+            outcome.session_epochs_per_sec() > 0.0,
+            "fleet of {sessions} sessions measured zero throughput"
+        );
+        sweep.push(outcome);
+    }
+
+    print!("{}", render_table(&sweep));
+    let json = render_json(workload.config(), &sweep);
+    std::fs::write(&out_path, &json).expect("writing the JSON report must succeed");
+    eprintln!("capacity: wrote {out_path}");
+}

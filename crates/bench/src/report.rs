@@ -1,0 +1,176 @@
+//! Rendering for the capacity sweep: a human-readable scaling table on stdout and the
+//! machine-readable `BENCH_9.json` series.
+//!
+//! The JSON is written by hand (the workspace is offline — no serde), which keeps the
+//! schema explicit here in one place.  Top level:
+//!
+//! ```json
+//! {
+//!   "bench": "capacity",
+//!   "pr": 9,
+//!   "knobs": { "shards": 2, "tick_batch": 256, ... },
+//!   "sweep": [ { "sessions": 10000, "ticks_per_sec": ..., ... }, ... ]
+//! }
+//! ```
+//!
+//! Each sweep entry carries the measured-window deltas of one [`CapacityOutcome`]:
+//! throughput (`ticks_per_sec`, `session_epochs_per_sec`), per-update CPU percentiles in
+//! microseconds, §7.1 `wire_bytes`, the executor counters (`batches`, `steals`,
+//! `imbalance`, engine-side `cache_hits`/`cache_misses`) and the shared query-cache
+//! counters with their derived `hit_rate`.
+
+use std::fmt::Write as _;
+
+use crate::workload::{CapacityConfig, CapacityOutcome};
+
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value:.6}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders the sweep as the checked-in `BENCH_9.json` document.
+#[must_use]
+pub fn render_json(config: &CapacityConfig, sweep: &[CapacityOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"bench\": \"capacity\",\n  \"pr\": 9,\n  \"knobs\": {\n");
+    let _ = writeln!(out, "    \"shards\": {},", config.shards);
+    let _ = writeln!(out, "    \"tick_batch\": {},", config.tick_batch);
+    let _ = writeln!(out, "    \"warmup_ticks\": {},", config.warmup_ticks);
+    let _ = writeln!(out, "    \"measure_ticks\": {},", config.measure_ticks);
+    let _ = writeln!(out, "    \"churn_per_tick\": {},", json_f64(config.churn_per_tick));
+    let _ = writeln!(out, "    \"open_fraction\": {},", json_f64(config.open_fraction));
+    let _ = writeln!(out, "    \"zipf_skew\": {},", json_f64(config.zipf_skew));
+    let _ = writeln!(out, "    \"distinct_groups\": {},", config.distinct_groups);
+    let _ = writeln!(
+        out,
+        "    \"group_size\": [{}, {}],",
+        config.min_group_size, config.max_group_size
+    );
+    let _ = writeln!(out, "    \"poi_count\": {},", config.poi_count);
+    let _ = writeln!(out, "    \"seed\": {}", config.seed);
+    out.push_str("  },\n  \"sweep\": [\n");
+    for (i, o) in sweep.iter().enumerate() {
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"sessions\": {},", o.sessions);
+        let _ = writeln!(out, "      \"shards\": {},", o.shards);
+        let _ = writeln!(
+            out,
+            "      \"register_secs\": {},",
+            json_f64(o.register_elapsed.as_secs_f64())
+        );
+        let _ =
+            writeln!(out, "      \"measure_secs\": {},", json_f64(o.measure_elapsed.as_secs_f64()));
+        let _ = writeln!(out, "      \"ticks_per_sec\": {},", json_f64(o.ticks_per_sec()));
+        let _ = writeln!(
+            out,
+            "      \"session_epochs_per_sec\": {},",
+            json_f64(o.session_epochs_per_sec())
+        );
+        let _ = writeln!(out, "      \"advanced\": {},", o.advanced);
+        let _ = writeln!(out, "      \"updated\": {},", o.updated);
+        let _ = writeln!(out, "      \"violators\": {},", o.violators);
+        let _ = writeln!(out, "      \"churned\": {},", o.churned);
+        let _ = writeln!(
+            out,
+            "      \"update_p50_us\": {},",
+            json_f64(o.update_p50.as_secs_f64() * 1e6)
+        );
+        let _ = writeln!(
+            out,
+            "      \"update_p99_us\": {},",
+            json_f64(o.update_p99.as_secs_f64() * 1e6)
+        );
+        let _ = writeln!(out, "      \"wire_bytes\": {},", o.wire_bytes);
+        out.push_str("      \"executor\": {\n");
+        let _ = writeln!(out, "        \"batches\": {},", o.exec.batches);
+        let _ = writeln!(out, "        \"steals\": {},", o.exec.steals);
+        let _ = writeln!(out, "        \"imbalance\": {},", o.exec.imbalance);
+        let _ = writeln!(out, "        \"cache_hits\": {},", o.exec.cache_hits);
+        let _ = writeln!(out, "        \"cache_misses\": {}", o.exec.cache_misses);
+        out.push_str("      },\n      \"query_cache\": {\n");
+        let _ = writeln!(out, "        \"hits\": {},", o.cache.hits);
+        let _ = writeln!(out, "        \"misses\": {},", o.cache.misses);
+        let _ = writeln!(out, "        \"insertions\": {},", o.cache.insertions);
+        let _ = writeln!(out, "        \"evictions\": {},", o.cache.evictions);
+        let _ = writeln!(out, "        \"hit_rate\": {}", json_f64(o.cache.hit_rate()));
+        out.push_str("      },\n      \"fleet\": {\n");
+        let _ = writeln!(out, "        \"groups\": {},", o.report.groups);
+        let _ = writeln!(out, "        \"retired\": {},", o.report.retired);
+        let _ = writeln!(out, "        \"reclaimed_users\": {},", o.report.reclaimed_users);
+        let _ = writeln!(out, "        \"total_packets\": {},", o.report.fleet.traffic.packets);
+        let _ = writeln!(out, "        \"total_wire_bytes\": {}", o.report.wire_bytes());
+        out.push_str("      }\n");
+        out.push_str(if i + 1 == sweep.len() { "    }\n" } else { "    },\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the sweep as the stdout scaling table.
+#[must_use]
+pub fn render_table(sweep: &[CapacityOutcome]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>9}  {:>9}  {:>13}  {:>10}  {:>10}  {:>12}  {:>8}  {:>9}",
+        "sessions", "ticks/s", "sess-epoch/s", "p50 µs", "p99 µs", "wire MB", "steals", "cache-hit"
+    );
+    for o in sweep {
+        let _ = writeln!(
+            out,
+            "{:>9}  {:>9.3}  {:>13.0}  {:>10.1}  {:>10.1}  {:>12.2}  {:>8}  {:>8.1}%",
+            o.sessions,
+            o.ticks_per_sec(),
+            o.session_epochs_per_sec(),
+            o.update_p50.as_secs_f64() * 1e6,
+            o.update_p99.as_secs_f64() * 1e6,
+            o.wire_bytes as f64 / 1e6,
+            o.exec.steals,
+            o.cache.hit_rate() * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::CapacityWorkload;
+    use mpn_mobility::network::NetworkConfig;
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let config = CapacityConfig {
+            shards: 2,
+            warmup_ticks: 1,
+            measure_ticks: 2,
+            distinct_groups: 4,
+            poi_count: 100,
+            network: NetworkConfig {
+                grid: 4,
+                timestamps: 6,
+                domain: 500.0,
+                ..NetworkConfig::default()
+            },
+            ..CapacityConfig::default()
+        };
+        let workload = CapacityWorkload::build(config);
+        let sweep = vec![workload.run(20), workload.run(40)];
+        let json = render_json(workload.config(), &sweep);
+        // Structural sanity without a JSON parser: balanced braces/brackets, both sweep
+        // entries present, and no stray trailing comma before a closer.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"bench\": \"capacity\""));
+        assert!(json.contains("\"sessions\": 20"));
+        assert!(json.contains("\"sessions\": 40"));
+        assert!(!json.contains(",\n  ]"));
+        assert!(!json.contains(",\n    }"));
+        let table = render_table(&sweep);
+        assert!(table.contains("sessions"));
+        assert_eq!(table.lines().count(), 3);
+    }
+}

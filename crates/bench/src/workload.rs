@@ -1,0 +1,479 @@
+//! The million-session capacity workload: a configurable synthetic fleet driven straight
+//! into a [`MonitoringEngine`] — no sockets, no codec — so the measured numbers are the
+//! engine's, not the transport's.
+//!
+//! ROADMAP item 5 asks for the measurement substrate the other tentpoles are judged
+//! against: a workload generator that pushes the engine to 10⁶ in-process sessions and
+//! records tick throughput, per-update server work, wire bytes and executor/cache counters
+//! as a checked-in perf trajectory.  This module is that generator; the `capacity` bin
+//! sweeps it over fleet sizes and `crate::report` renders the series.
+//!
+//! # Shape of the workload
+//!
+//! * **Trajectory pool with Zipf popularity (mobility skew).**  A
+//!   [`RoadNetwork`](mpn_mobility::network::RoadNetwork) (Brinkhoff-style, depending on the
+//!   connectivity guarantee fixed in this PR — a fragmented network would burn 50 failed
+//!   Dijkstras per trajectory step at exactly this scale) yields
+//!   [`distinct_groups`](CapacityConfig::distinct_groups) recorded groups; each session is
+//!   assigned one by a Zipf([`zipf_skew`](CapacityConfig::zipf_skew)) draw, so a few hot
+//!   trajectories serve most of the fleet (the flash-crowd case the shared
+//!   [`QueryCache`](mpn_index::QueryCache) exists for) while a long tail stays cold.
+//! * **Zipf group sizes.**  Group sizes are drawn from the same skew over
+//!   [`min_group_size`](CapacityConfig::min_group_size)..=[`max_group_size`](CapacityConfig::max_group_size)
+//!   (small groups common, large ones rare), and trajectory speed classes are skewed the
+//!   same way — slow vehicle classes dominate, as in Brinkhoff's generator.
+//! * **Open vs capped horizons.**  A fraction
+//!   [`open_fraction`](CapacityConfig::open_fraction) of sessions register as open-horizon
+//!   *streams* (positions pushed via [`MonitoringEngine::submit`] each tick, never
+//!   finishing); the rest are bounded replay sessions over `Arc`-shared feeds, so a
+//!   million-session fleet shares the recorded trajectories instead of cloning them.
+//! * **Churn.**  Every tick, [`churn_per_tick`](CapacityConfig::churn_per_tick) of the
+//!   fleet deregisters and is replaced by fresh registrations — exercising the free-list,
+//!   retired-metrics compaction and reclaimed-epoch accounting at scale, inside the
+//!   measured window.
+//!
+//! # Phases and measurement
+//!
+//! [`CapacityWorkload::run`] registers the fleet, runs
+//! [`warmup_ticks`](CapacityConfig::warmup_ticks) unmeasured ticks (covering the expensive
+//! registration tick), snapshots an [`EngineReport`], runs
+//! [`measure_ticks`](CapacityConfig::measure_ticks) timed ticks, snapshots again and
+//! reports the deltas: tick / session-epoch throughput, per-update CPU p50/p99 (through
+//! the batch [`MonitoringMetrics::compute_time_percentiles`](mpn_sim::MonitoringMetrics::compute_time_percentiles)
+//! path — the percentile fix of this PR), §7.1 wire bytes, and steal / query-cache
+//! counters.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpn_core::{Method, Objective};
+use mpn_geom::Point;
+use mpn_index::{CacheStats, QueryCache, RTree};
+use mpn_mobility::network::{NetworkConfig, RoadNetwork};
+use mpn_mobility::poi::{clustered_pois, PoiConfig};
+use mpn_mobility::{Trajectory, DEFAULT_DOMAIN, DEFAULT_SPEED_LIMIT};
+use mpn_sim::engine::GroupId;
+use mpn_sim::{
+    EngineReport, EpochUpdate, MonitorConfig, MonitoringEngine, TickExecCounters, TickExecutor,
+    TrajectoryFeed,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the capacity workload.  Everything except the fleet size, which is the sweep
+/// axis of [`CapacityWorkload::run`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityConfig {
+    /// Engine shards (work-stealing executor; at least 2 so the worker pool is exercised).
+    pub shards: usize,
+    /// Sessions per work-stealing batch ([`TickExecutor::WorkStealing`]).
+    pub tick_batch: usize,
+    /// Unmeasured ticks before the window opens (covers the registration tick).
+    pub warmup_ticks: usize,
+    /// Measured ticks.
+    pub measure_ticks: usize,
+    /// Fraction of the fleet deregistered and replaced per tick (0.0 = static fleet).
+    pub churn_per_tick: f64,
+    /// Fraction of sessions registered as open-horizon streams fed via `submit`; the rest
+    /// are bounded replay sessions.
+    pub open_fraction: f64,
+    /// Zipf exponent `s` of the popularity, group-size and speed-class skews (0.0 =
+    /// uniform; larger = more skewed).
+    pub zipf_skew: f64,
+    /// Distinct trajectory groups in the shared pool (sessions share them by popularity).
+    pub distinct_groups: usize,
+    /// Smallest group size drawn.
+    pub min_group_size: usize,
+    /// Largest group size drawn.
+    pub max_group_size: usize,
+    /// POIs in the monitored world.
+    pub poi_count: usize,
+    /// Road network the trajectories move on.  `timestamps` is raised to cover the run
+    /// (`warmup + measure + 2`) so capped sessions cannot starve inside the window.
+    pub network: NetworkConfig,
+    /// Master seed; every derived stream (POIs, network, pool, assignment, churn) is a
+    /// deterministic function of it.
+    pub seed: u64,
+}
+
+impl Default for CapacityConfig {
+    fn default() -> Self {
+        let shards = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        Self {
+            shards: shards.max(2),
+            tick_batch: 256,
+            warmup_ticks: 2,
+            measure_ticks: 5,
+            churn_per_tick: 0.002,
+            open_fraction: 0.05,
+            zipf_skew: 1.1,
+            distinct_groups: 512,
+            min_group_size: 2,
+            max_group_size: 6,
+            poi_count: 4_000,
+            network: NetworkConfig {
+                domain: DEFAULT_DOMAIN,
+                speed_limit: DEFAULT_SPEED_LIMIT,
+                ..NetworkConfig::default()
+            },
+            seed: 42,
+        }
+    }
+}
+
+/// A Zipf(`s`) sampler over ranks `0..n`: rank `k` is drawn with probability proportional
+/// to `1/(k+1)^s`.  Sampling is a binary search over the precomputed CDF, O(log n).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks (clamped to at least 1) with exponent `s`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = *cdf.last().expect("at least one rank");
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u = rng.gen::<f64>();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// One recorded trajectory group of the shared pool: the `Arc`-shared recording (for replay
+/// feeds) and its pre-drained epochs (for streaming `submit`).
+#[derive(Debug)]
+struct PoolGroup {
+    trajectories: Arc<Vec<Trajectory>>,
+    epochs: Arc<Vec<Vec<Point>>>,
+}
+
+/// One registered session as the harness tracks it.
+struct Slot {
+    id: GroupId,
+    pool: usize,
+    streaming: bool,
+    next_epoch: usize,
+}
+
+/// What one fleet-size point of the capacity sweep measured.
+#[derive(Debug, Clone)]
+pub struct CapacityOutcome {
+    /// Fleet size of this point.
+    pub sessions: usize,
+    /// Engine shards used.
+    pub shards: usize,
+    /// Unmeasured warm-up ticks run first.
+    pub warmup_ticks: usize,
+    /// Measured ticks.
+    pub measure_ticks: usize,
+    /// Wall time to register the whole fleet.
+    pub register_elapsed: Duration,
+    /// Wall time of the measured ticks (including churn, which is part of the workload).
+    pub measure_elapsed: Duration,
+    /// Session-epochs advanced inside the window.
+    pub advanced: usize,
+    /// Full safe-region recomputations inside the window.
+    pub updated: usize,
+    /// Safe-region violations inside the window.
+    pub violators: usize,
+    /// Sessions deregistered-and-replaced inside the window.
+    pub churned: usize,
+    /// Per-update CPU p50 over the run's live sessions (batch percentile path).
+    pub update_p50: Duration,
+    /// Per-update CPU p99 over the run's live sessions (batch percentile path).
+    pub update_p99: Duration,
+    /// §7.1 wire bytes generated inside the window.
+    pub wire_bytes: u64,
+    /// Executor counters (batches, steals, imbalance, cache traffic) inside the window.
+    pub exec: TickExecCounters,
+    /// Shared query-cache counters inside the window.
+    pub cache: CacheStats,
+    /// The final cumulative engine snapshot (lifetime totals, shard loads, fleet metrics).
+    pub report: EngineReport,
+}
+
+impl CapacityOutcome {
+    /// Measured tick throughput (fleet-wide epochs per second of wall time).
+    #[must_use]
+    pub fn ticks_per_sec(&self) -> f64 {
+        self.measure_ticks as f64 / self.measure_elapsed.as_secs_f64()
+    }
+
+    /// Measured session-epoch throughput — the "users served per second" number.
+    #[must_use]
+    pub fn session_epochs_per_sec(&self) -> f64 {
+        self.advanced as f64 / self.measure_elapsed.as_secs_f64()
+    }
+}
+
+/// The reusable part of the capacity workload: POI tree, road network and trajectory pool.
+/// Build once, [`run`](CapacityWorkload::run) per fleet size — the sweep then varies only
+/// the fleet, not the world.
+#[derive(Debug)]
+pub struct CapacityWorkload {
+    config: CapacityConfig,
+    tree: Arc<RTree>,
+    pool: Vec<PoolGroup>,
+    popularity: Zipf,
+}
+
+impl CapacityWorkload {
+    /// Generates the world and the trajectory pool (deterministic per
+    /// [`CapacityConfig::seed`]).
+    ///
+    /// # Panics
+    /// Panics on a zero POI count or an empty group-size range.
+    #[must_use]
+    pub fn build(mut config: CapacityConfig) -> Self {
+        assert!(config.poi_count > 0, "the monitored world needs POIs");
+        assert!(
+            config.min_group_size >= 1 && config.min_group_size <= config.max_group_size,
+            "group-size range must be non-empty"
+        );
+        // Capped sessions replay the recordings; make them outlive the run.
+        let run_ticks = config.warmup_ticks + config.measure_ticks + 2;
+        config.network.timestamps = config.network.timestamps.max(run_ticks);
+
+        let pois = clustered_pois(
+            &PoiConfig {
+                count: config.poi_count,
+                domain: config.network.domain,
+                ..PoiConfig::default()
+            },
+            config.seed,
+        );
+        let tree = Arc::new(RTree::bulk_load(&pois));
+
+        let network = RoadNetwork::generate(&config.network, config.seed ^ 0x0a0a);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9001);
+        let sizes = Zipf::new(config.max_group_size - config.min_group_size + 1, config.zipf_skew);
+        let classes = Zipf::new(config.network.speed_classes.max(1), config.zipf_skew);
+        let pool = (0..config.distinct_groups.max(1))
+            .map(|g| {
+                let size = config.min_group_size + sizes.sample(&mut rng);
+                let class = classes.sample(&mut rng);
+                let trajectories: Arc<Vec<Trajectory>> = Arc::new(
+                    (0..size)
+                        .map(|i| network.trajectory(config.seed ^ (g * 131 + i) as u64, class))
+                        .collect(),
+                );
+                let mut feed = TrajectoryFeed::new(Arc::clone(&trajectories));
+                let mut epochs = Vec::with_capacity(config.network.timestamps);
+                while let Some(positions) = feed.next_epoch() {
+                    epochs.push(positions);
+                }
+                PoolGroup { trajectories, epochs: Arc::new(epochs) }
+            })
+            .collect();
+        let popularity = Zipf::new(config.distinct_groups.max(1), config.zipf_skew);
+        Self { config, tree, pool, popularity }
+    }
+
+    /// The workload's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CapacityConfig {
+        &self.config
+    }
+
+    /// The POI tree the fleet monitors.
+    #[must_use]
+    pub fn tree(&self) -> &Arc<RTree> {
+        &self.tree
+    }
+
+    /// Registers one session (pool group and horizon kind drawn from the skews).
+    fn register_one(&self, engine: &mut MonitoringEngine, rng: &mut StdRng) -> Slot {
+        let pool = self.popularity.sample(rng);
+        let group = &self.pool[pool];
+        let streaming = rng.gen::<f64>() < self.config.open_fraction;
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let id = if streaming {
+            engine.register_stream(group.trajectories.len(), config)
+        } else {
+            engine.register(TrajectoryFeed::new(Arc::clone(&group.trajectories)), config)
+        };
+        Slot { id, pool, streaming, next_epoch: 0 }
+    }
+
+    /// Queues the next epoch for every open-horizon stream (replay feeds pull their own).
+    fn feed_streams(&self, engine: &mut MonitoringEngine, slots: &mut [Slot]) {
+        for slot in slots.iter_mut().filter(|s| s.streaming) {
+            let epochs = &self.pool[slot.pool].epochs;
+            let positions = epochs[slot.next_epoch % epochs.len()].clone();
+            slot.next_epoch += 1;
+            engine
+                .submit(EpochUpdate { group_id: slot.id, positions })
+                .expect("streams have open horizons and matching group sizes");
+        }
+    }
+
+    /// Deregisters `count` random sessions and replaces each with a fresh registration.
+    fn churn(
+        &self,
+        engine: &mut MonitoringEngine,
+        slots: &mut Vec<Slot>,
+        rng: &mut StdRng,
+        count: usize,
+    ) -> usize {
+        let count = count.min(slots.len());
+        for _ in 0..count {
+            let victim = slots.swap_remove(rng.gen_range(0..slots.len()));
+            engine.deregister(victim.id).expect("tracked sessions are registered");
+            slots.push(self.register_one(engine, rng));
+        }
+        count
+    }
+
+    /// Runs one fleet-size point: register `sessions`, warm up, measure, report.
+    ///
+    /// The engine is fresh per call (work-stealing executor, shared query cache attached),
+    /// so sweep points are independent; the world and trajectory pool are shared across
+    /// calls by construction.
+    #[must_use]
+    pub fn run(&self, sessions: usize) -> CapacityOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf1ee7 ^ sessions as u64);
+        let executor = TickExecutor::WorkStealing { batch: cfg.tick_batch.max(1) };
+        let mut engine =
+            MonitoringEngine::with_executor(Arc::clone(&self.tree), cfg.shards.max(1), executor)
+                .with_query_cache(QueryCache::new());
+
+        let t_register = Instant::now();
+        let mut slots: Vec<Slot> =
+            (0..sessions).map(|_| self.register_one(&mut engine, &mut rng)).collect();
+        let register_elapsed = t_register.elapsed();
+
+        let churn_per_tick = (cfg.churn_per_tick * sessions as f64).round() as usize;
+        for _ in 0..cfg.warmup_ticks {
+            self.feed_streams(&mut engine, &mut slots);
+            engine.tick();
+            self.churn(&mut engine, &mut slots, &mut rng, churn_per_tick);
+        }
+        let warm = engine.report();
+
+        let (mut advanced, mut updated, mut violators, mut churned) = (0, 0, 0, 0);
+        let t_measure = Instant::now();
+        for _ in 0..cfg.measure_ticks {
+            self.feed_streams(&mut engine, &mut slots);
+            let summary = engine.tick();
+            advanced += summary.advanced;
+            updated += summary.updated;
+            violators += summary.violators;
+            churned += self.churn(&mut engine, &mut slots, &mut rng, churn_per_tick);
+        }
+        let measure_elapsed = t_measure.elapsed();
+
+        let report = engine.report();
+        let percentiles = report.update_time_percentiles(&[50.0, 99.0]);
+        let exec = TickExecCounters {
+            batches: report.exec.batches - warm.exec.batches,
+            steals: report.exec.steals - warm.exec.steals,
+            imbalance: report.exec.imbalance - warm.exec.imbalance,
+            cache_hits: report.exec.cache_hits - warm.exec.cache_hits,
+            cache_misses: report.exec.cache_misses - warm.exec.cache_misses,
+        };
+        let cache = report.cache.unwrap_or_default().since(&warm.cache.unwrap_or_default());
+        CapacityOutcome {
+            sessions,
+            shards: cfg.shards.max(1),
+            warmup_ticks: cfg.warmup_ticks,
+            measure_ticks: cfg.measure_ticks,
+            register_elapsed,
+            measure_elapsed,
+            advanced,
+            updated,
+            violators,
+            churned,
+            update_p50: percentiles[0],
+            update_p99: percentiles[1],
+            wire_bytes: report.wire_bytes() - warm.wire_bytes(),
+            exec,
+            cache,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> CapacityConfig {
+        CapacityConfig {
+            shards: 2,
+            warmup_ticks: 1,
+            measure_ticks: 3,
+            distinct_groups: 8,
+            poi_count: 300,
+            churn_per_tick: 0.05,
+            open_fraction: 0.25,
+            network: NetworkConfig {
+                grid: 6,
+                timestamps: 8,
+                domain: 1_000.0,
+                speed_limit: 10.0,
+                ..NetworkConfig::default()
+            },
+            ..CapacityConfig::default()
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let zipf = Zipf::new(16, 1.2);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 16];
+        for _ in 0..4_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[8] * 2, "rank 0 must dominate rank 8: {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 4_000);
+        // Degenerate: a single rank always samples 0; s = 0 is uniform-ish but valid.
+        assert_eq!(Zipf::new(1, 1.0).sample(&mut rng), 0);
+        let _ = Zipf::new(4, 0.0).sample(&mut rng);
+    }
+
+    #[test]
+    fn capacity_run_produces_consistent_numbers() {
+        let workload = CapacityWorkload::build(tiny_config());
+        let outcome = workload.run(200);
+        assert_eq!(outcome.sessions, 200);
+        // Every live session advances on every measured tick (streams are fed, replays
+        // have covering horizons), modulo the churned ones mid-replacement.
+        assert!(outcome.advanced >= 3 * 150, "advanced {}", outcome.advanced);
+        assert!(outcome.ticks_per_sec() > 0.0);
+        assert!(outcome.session_epochs_per_sec() > 0.0);
+        assert!(outcome.churned > 0, "5% churn over 3 ticks must churn someone");
+        assert!(outcome.wire_bytes > 0, "registrations inside the run produce traffic");
+        assert!(outcome.update_p50 <= outcome.update_p99);
+        // Fleet accounting: every session still registered, churn left retired records.
+        assert_eq!(outcome.report.groups, 200);
+        assert!(outcome.report.retired > 0 || outcome.report.reclaimed_users > 0);
+        let cache = outcome.report.cache.expect("capacity runs attach the shared cache");
+        assert!(cache.hits > 0, "a Zipf fleet over a shared pool must hit the cache");
+    }
+
+    #[test]
+    fn sweep_points_share_the_world() {
+        let workload = CapacityWorkload::build(tiny_config());
+        let small = workload.run(50);
+        let large = workload.run(150);
+        assert!(large.advanced > small.advanced);
+        assert!(small.report.fleet.timestamps > 0, "measured ticks advance the fleet clock");
+        assert_eq!(workload.tree().len(), 300);
+    }
+}

@@ -102,23 +102,60 @@ impl RoadNetwork {
             let iy = rng.gen_range(0..n - 1);
             network.add_edge(index(ix, iy), index(ix + 1, iy + 1));
         }
-        // Guarantee connectivity of the component containing node 0 by linking every isolated
-        // node to its nearest grid neighbour.
-        for node in 0..network.nodes.len() {
-            if network.adjacency[node].is_empty() {
-                let nearest = (0..network.nodes.len())
-                    .filter(|&o| o != node && !network.adjacency[o].is_empty())
-                    .min_by(|&a, &b| {
-                        network.nodes[a]
-                            .dist(network.nodes[node])
-                            .total_cmp(&network.nodes[b].dist(network.nodes[node]))
-                    });
-                if let Some(o) = nearest {
-                    network.add_edge(node, o);
+        // Guarantee full connectivity.  The removal pass above can leave whole disjoint
+        // components behind (not just degree-0 nodes), and with `removal_fraction >= 1.0`
+        // and no shortcuts *every* node starts isolated — a zero-edge network on which
+        // every shortest-path query fails.  Bridge everything into node 0's component.
+        network.connect_components();
+        network
+    }
+
+    /// Bridges every component disconnected from node 0 into one connected network.
+    ///
+    /// BFS from node 0 marks the reached set; while any node is unreached, the unreached
+    /// node closest to the reached set is bridged to its nearest reached node and its whole
+    /// component is flooded in.  This is a Prim-style pass — deterministic (distance ties
+    /// break on the lowest node index), uses no randomness (so the generator's RNG stream is
+    /// untouched), and O(n²) total regardless of how fragmented the edge pass left the grid.
+    fn connect_components(&mut self) {
+        let n = self.nodes.len();
+        if n == 0 {
+            return;
+        }
+        let mut reached = vec![false; n];
+        // `closest[v]`: for an unreached `v`, the nearest reached node and its distance,
+        // relaxed as nodes join the reached set.
+        let mut closest: Vec<(f64, usize)> = vec![(f64::INFINITY, usize::MAX); n];
+        let mut frontier = vec![0usize];
+        reached[0] = true;
+        loop {
+            // Flood the newly attached component, relaxing the remaining unreached nodes.
+            while let Some(u) = frontier.pop() {
+                for &(v, _) in &self.adjacency[u] {
+                    if !reached[v] {
+                        reached[v] = true;
+                        frontier.push(v);
+                    }
+                }
+                for v in 0..n {
+                    if !reached[v] {
+                        let d = self.nodes[v].dist(self.nodes[u]);
+                        if d < closest[v].0 {
+                            closest[v] = (d, u);
+                        }
+                    }
                 }
             }
+            let Some(next) = (0..n)
+                .filter(|&v| !reached[v])
+                .min_by(|&a, &b| closest[a].0.total_cmp(&closest[b].0))
+            else {
+                break;
+            };
+            self.add_edge(next, closest[next].1);
+            reached[next] = true;
+            frontier.push(next);
         }
-        network
     }
 
     fn add_edge(&mut self, a: usize, b: usize) {

@@ -46,7 +46,7 @@ use mpn_geom::Point;
 use mpn_index::{IndexView, QueryCache, RTree, WorldView};
 use mpn_pool::WorkerPool;
 
-use crate::metrics::{MonitoringMetrics, ShardLoad};
+use crate::metrics::{EngineReport, MonitoringMetrics, ShardLoad};
 use crate::monitor::{GroupSession, MonitorConfig, SessionEvent, StepOutcome, TrajectoryFeed};
 
 /// Identifier of a registered group.
@@ -867,6 +867,30 @@ impl MonitoringEngine {
     #[must_use]
     pub fn is_finished(&self) -> bool {
         self.sessions().all(GroupSession::is_finished)
+    }
+
+    /// One coherent snapshot of the whole engine: clock, membership accounting, executor
+    /// totals, query-cache counters, per-shard load and the merged fleet metrics — see
+    /// [`EngineReport`] for what each field measures.
+    ///
+    /// This is the read path of the capacity harness, the loadgen examples and any future
+    /// tooling; it replaces poking
+    /// [`clock`](MonitoringEngine::clock)/[`exec_totals`](MonitoringEngine::exec_totals)/
+    /// [`shard_loads`](MonitoringEngine::shard_loads)/[`fleet_metrics`](MonitoringEngine::fleet_metrics)
+    /// one by one.  Cost is O(fleet + recorded updates) — snapshot at phase boundaries, not
+    /// per tick.
+    #[must_use]
+    pub fn report(&self) -> EngineReport {
+        EngineReport {
+            ticks: self.clock,
+            groups: self.group_count(),
+            retired: self.retired_count(),
+            reclaimed_users: self.reclaimed.group_size,
+            exec: self.exec_totals,
+            cache: self.cache.as_deref().map(QueryCache::stats),
+            shards: self.shard_loads(),
+            fleet: self.fleet_metrics(),
+        }
     }
 
     /// Per-shard occupancy, idle-tick, starved-tick and remaining-work counters, in shard

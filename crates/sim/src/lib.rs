@@ -117,6 +117,21 @@
 //! (`steals`, `imbalance`).  Like the cache, stealing changes only the schedule — every
 //! protocol counter stays identical to the serial replay.
 //!
+//! # Engine-wide snapshots
+//!
+//! [`MonitoringEngine::report`] returns an [`EngineReport`]: one coherent struct holding
+//! the engine clock, membership accounting (live / retired / reclaimed),
+//! lifetime [`TickExecCounters`], the shared query cache's
+//! [`CacheStats`](mpn_index::CacheStats), per-shard [`ShardLoad`] and the merged fleet
+//! [`MonitoringMetrics`].  Every measurement tool — the `mpn-bench` capacity harness, the
+//! loadgen examples, future dashboards — reads this one snapshot instead of poking five
+//! accessors, so "the numbers that matter" (tick throughput, per-update CPU percentiles
+//! via the batch [`MonitoringMetrics::compute_time_percentiles`] path, wire bytes via
+//! [`Traffic::wire_bytes`], steal/cache counters) are defined in exactly one place.
+//! Reports are cumulative; phase-based tools snapshot at phase boundaries and diff the
+//! counters.  The free [`percentiles`] helper serves any other sample vector (e.g. wire
+//! round-trip latencies) with the same one-sort batch rule.
+//!
 //! [`run_monitoring`] remains as the single-group compatibility wrapper (bit-identical
 //! counters to the historical stateless loop, pinned by `tests/engine_parity.rs`) and
 //! [`experiment::run_workload`] drives a whole multi-group workload through the engine,
@@ -137,7 +152,7 @@ pub use engine::{
 };
 pub use experiment::{run_workload, run_workload_sharded, WorkloadSummary};
 pub use message::{Message, MessageKind, Traffic};
-pub use metrics::{MonitoringMetrics, ShardLoad};
+pub use metrics::{percentiles, EngineReport, MonitoringMetrics, ShardLoad};
 pub use monitor::{
     run_monitoring, GroupSession, MonitorConfig, SessionEvent, StepOutcome, TrajectoryFeed,
 };

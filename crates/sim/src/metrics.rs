@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use mpn_core::ComputeStats;
+use mpn_index::CacheStats;
 
+use crate::engine::TickExecCounters;
 use crate::message::Traffic;
 
 /// Load snapshot of one engine shard (see
@@ -41,6 +43,101 @@ impl ShardLoad {
     pub fn is_live(&self) -> bool {
         self.live > 0
     }
+}
+
+/// One coherent engine-wide snapshot: everything a
+/// [`MonitoringEngine`](crate::MonitoringEngine) can report about itself, read in one call
+/// ([`MonitoringEngine::report`](crate::MonitoringEngine::report)) instead of five
+/// accessors.
+///
+/// This is the measurement substrate of the capacity harness (`mpn-bench`'s `capacity`
+/// bin), the loadgen examples and any future tooling — each field maps onto one of the
+/// "numbers that matter" for the paper's evaluation and the million-user north star:
+///
+/// * [`ticks`](EngineReport::ticks) — engine clock; with a wall-clock window this yields
+///   **tick throughput** (epochs served per second).
+/// * [`groups`](EngineReport::groups) / [`retired`](EngineReport::retired) /
+///   [`reclaimed_users`](EngineReport::reclaimed_users) — fleet membership accounting:
+///   live sessions, deregistered sessions whose metrics are still attributed to their id,
+///   and the lifetime user total of epochs whose ids were reused.
+/// * [`exec`](EngineReport::exec) — lifetime executor totals (batches, steals, imbalance,
+///   cache traffic): how the work was scheduled, as opposed to what it computed.
+/// * [`cache`](EngineReport::cache) — the shared [`QueryCache`](mpn_index::QueryCache)'s
+///   cumulative counters (`None` when no cache is attached).
+/// * [`shards`](EngineReport::shards) — per-shard [`ShardLoad`] (occupancy, live, idle /
+///   starved ticks, remaining-work weight), in shard order.
+/// * [`fleet`](EngineReport::fleet) — the merged [`MonitoringMetrics`] of every session,
+///   including retired and reclaimed epochs: the §7.1 measures (update frequency,
+///   per-update CPU time — percentiles via the batch
+///   [`compute_time_percentiles`](MonitoringMetrics::compute_time_percentiles) — and
+///   communication cost as packets / [`wire_bytes`](Traffic::wire_bytes)).
+///
+/// Building a report is O(fleet + total recorded updates) — the fleet metrics clone every
+/// live session's per-update sample vector — so callers snapshot at phase boundaries (e.g.
+/// warm-up end, measurement end) rather than per tick, and diff the cumulative counters.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Ticks executed so far (the engine clock).
+    pub ticks: usize,
+    /// Currently registered groups.
+    pub groups: usize,
+    /// Deregistered groups whose retired metrics are still attributed to their id.
+    pub retired: usize,
+    /// Lifetime users of past epochs whose ids were reused (no longer per-id attributable;
+    /// their counters live on inside [`fleet`](EngineReport::fleet)).
+    pub reclaimed_users: usize,
+    /// Executor diagnostics accumulated over every tick (batches, steals, imbalance,
+    /// query-cache hit/miss traffic).
+    pub exec: TickExecCounters,
+    /// Cumulative shared query-cache counters, when a cache is attached.
+    pub cache: Option<CacheStats>,
+    /// Per-shard load, in shard order.
+    pub shards: Vec<ShardLoad>,
+    /// Fleet-wide merged metrics (live + retired + reclaimed).
+    pub fleet: MonitoringMetrics,
+}
+
+impl EngineReport {
+    /// Batch per-update CPU-time percentiles of the fleet (one sort for all of them).
+    ///
+    /// Retired records are compacted, so the samples cover live sessions only; totals and
+    /// means in [`fleet`](EngineReport::fleet) cover everything.
+    #[must_use]
+    pub fn update_time_percentiles(&self, qs: &[f64]) -> Vec<Duration> {
+        self.fleet.compute_time_percentiles(qs)
+    }
+
+    /// Total bytes on the wire under the §7.1 packet cost model.
+    #[must_use]
+    pub fn wire_bytes(&self) -> u64 {
+        self.fleet.traffic.wire_bytes()
+    }
+}
+
+/// Batch percentile extraction over arbitrary samples: sorts one scratch copy and reads
+/// every requested percentile (0–100) from it, so asking for p50/p95/p99 pays a single
+/// O(n log n) sort instead of one per percentile.
+///
+/// Percentile `q` reads the element at rank `round(q/100 · (n−1))` of the sorted samples —
+/// the same rule [`MonitoringMetrics::compute_time_percentile`] has always used.  An empty
+/// sample set yields `T::default()` ([`Duration::ZERO`], `0.0`, …) for every percentile.
+///
+/// # Panics
+/// Panics when the samples are not totally ordered (e.g. a NaN latency).
+#[must_use]
+pub fn percentiles<T: Copy + PartialOrd + Default>(samples: &[T], qs: &[f64]) -> Vec<T> {
+    if samples.is_empty() {
+        return vec![T::default(); qs.len()];
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable_by(|a, b| {
+        a.partial_cmp(b).expect("percentile samples must be totally ordered")
+    });
+    qs.iter()
+        .map(|q| {
+            sorted[((q.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize]
+        })
+        .collect()
 }
 
 /// Aggregated metrics of one monitoring run (one user group over one trajectory horizon).
@@ -119,15 +216,26 @@ impl MonitoringMetrics {
     }
 
     /// The `q`-th percentile (0–100) of per-update CPU times.
+    ///
+    /// Each call pays one sort of the sample vector; a report that reads several
+    /// percentiles uses the batch
+    /// [`compute_time_percentiles`](MonitoringMetrics::compute_time_percentiles), which
+    /// sorts once for all of them — the difference between milliseconds and minutes on a
+    /// million-update fleet record.
     #[must_use]
     pub fn compute_time_percentile(&self, q: f64) -> Duration {
-        if self.update_times.is_empty() {
-            return Duration::ZERO;
-        }
-        let mut sorted = self.update_times.clone();
-        sorted.sort();
-        let idx = ((q.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64).round() as usize;
-        sorted[idx]
+        self.compute_time_percentiles(&[q])[0]
+    }
+
+    /// Batch percentiles (0–100 each) of the per-update CPU times: one sort of the samples
+    /// serves every requested percentile, in request order.
+    ///
+    /// Returns [`Duration::ZERO`] for every entry when no updates were recorded (or the
+    /// record was compacted); each returned value equals the corresponding
+    /// [`compute_time_percentile`](MonitoringMetrics::compute_time_percentile) result.
+    #[must_use]
+    pub fn compute_time_percentiles(&self, qs: &[f64]) -> Vec<Duration> {
+        percentiles(&self.update_times, qs)
     }
 
     /// Drops the raw per-update CPU samples, keeping every scalar total (updates, compute
@@ -193,6 +301,33 @@ mod tests {
         assert_eq!(compact.mean_compute_time(), Duration::from_millis(5));
         assert!(compact.update_times.is_empty());
         assert_eq!(compact.compute_time_percentile(95.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn batch_percentiles_match_single_calls() {
+        let mut m = MonitoringMetrics::new(4);
+        // Deliberately unsorted recording order; the batch sorts once internally.
+        for ms in [9u64, 1, 7, 3, 5, 2, 8, 4, 6, 10] {
+            m.record_update(Duration::from_millis(ms), &ComputeStats::default());
+        }
+        let qs = [0.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0];
+        let batch = m.compute_time_percentiles(&qs);
+        for (q, batched) in qs.iter().zip(&batch) {
+            assert_eq!(*batched, m.compute_time_percentile(*q), "q={q}");
+        }
+        // Empty query list and empty recording both behave.
+        assert!(m.compute_time_percentiles(&[]).is_empty());
+        let empty = MonitoringMetrics::new(1);
+        assert_eq!(empty.compute_time_percentiles(&[50.0, 99.0]), vec![Duration::ZERO; 2]);
+    }
+
+    #[test]
+    fn free_percentiles_sorts_once_over_any_samples() {
+        let samples = [4.0f64, 1.0, 3.0, 2.0];
+        assert_eq!(percentiles(&samples, &[0.0, 50.0, 100.0]), vec![1.0, 3.0, 4.0]);
+        // Out-of-range quantiles clamp; empty samples yield defaults.
+        assert_eq!(percentiles(&samples, &[-5.0, 150.0]), vec![1.0, 4.0]);
+        assert_eq!(percentiles::<f64>(&[], &[50.0]), vec![0.0]);
     }
 
     #[test]

@@ -49,7 +49,9 @@ use mpn::net::{read_batch, MuxConfig, MuxServer, MuxStats};
 use mpn::proto::{
     AdminRequest, NotificationKind, Request, Response, WireConfig, WireMethod, WireObjective,
 };
-use mpn::sim::{MonitoringEngine, ServerCore, TickExecCounters, TickExecutor, TrajectoryFeed};
+use mpn::sim::{
+    percentiles, MonitoringEngine, ServerCore, TickExecCounters, TickExecutor, TrajectoryFeed,
+};
 
 fn env_usize(name: &str, default: usize) -> usize {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
@@ -306,24 +308,26 @@ fn run_phase(knobs: &Knobs, shared_epochs: &Arc<Vec<Vec<Point>>>, churn: bool) -
     let stats = *server.stats();
     let expected = knobs.conns + usize::from(churn);
     assert_eq!(stats.accepted as usize, expected, "every connection was accepted");
-    assert_eq!(server.core().engine().group_count(), 0, "every session deregistered");
+    // One engine-wide snapshot instead of per-accessor pokes (see mpn-sim's EngineReport).
+    let report = server.core().engine().report();
+    assert_eq!(report.groups, 0, "every session deregistered");
     assert!(regions > 0, "the load produced real safe-region traffic");
-    let exec = server.core().engine().exec_totals();
+    let exec = report.exec;
     assert!(
         exec.cache_hit_rate() >= 0.5,
         "identical groups must share the query cache (got {:.1}% hit rate)",
         exec.cache_hit_rate() * 100.0
     );
 
-    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+    // The batch percentile path sorts the samples once for all three quantiles.
+    let quantiles = percentiles(&latencies_ms, &[50.0, 99.0, 100.0]);
     PhaseOutcome {
         elapsed,
         requests: knobs.conns * knobs.epochs,
         stats,
-        p50: pct(0.50),
-        p99: pct(0.99),
-        max: *latencies_ms.last().expect("samples"),
+        p50: quantiles[0],
+        p99: quantiles[1],
+        max: quantiles[2],
         world_changes,
         pushes,
         exec,
