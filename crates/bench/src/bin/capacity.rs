@@ -2,7 +2,7 @@
 //!
 //! Builds one [`CapacityWorkload`] (POI tree + road network + Zipf trajectory pool) and
 //! runs it at each fleet size of `MPN_CAP_SWEEP` (default `10000,100000,1000000`), printing
-//! the scaling series and writing the JSON report to `MPN_OUT` (default `BENCH_9.json`).
+//! the scaling series and writing the JSON report to `MPN_OUT` (default `BENCH_10.json`).
 //! All knobs are environment variables — see the `mpn-bench` crate docs for the table.
 //!
 //! Exits non-zero if any sweep point measures zero throughput, so CI can gate on it.
@@ -36,7 +36,7 @@ fn main() {
         .filter(|&n| n > 0)
         .collect();
     assert!(!sweep_sizes.is_empty(), "MPN_CAP_SWEEP must name at least one fleet size");
-    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_9.json".to_owned());
+    let out_path = std::env::var("MPN_OUT").unwrap_or_else(|_| "BENCH_10.json".to_owned());
 
     eprintln!(
         "capacity: building world (pois={}, groups={}, shards={}, zipf={})",

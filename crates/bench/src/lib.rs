@@ -16,7 +16,7 @@
 //! harness (ROADMAP item 5): [`CapacityWorkload`] drives a synthetic fleet of up to 10⁶
 //! in-process sessions straight into a [`mpn_sim::MonitoringEngine`] — no sockets — and
 //! the `capacity` bin sweeps it over fleet sizes, printing the scaling series and writing
-//! `BENCH_9.json`.  Every knob is an environment variable read by the bin:
+//! `BENCH_10.json`.  Every knob is an environment variable read by the bin:
 //!
 //! | variable          | default                | meaning                                        |
 //! |-------------------|------------------------|------------------------------------------------|
@@ -30,7 +30,7 @@
 //! | `MPN_CAP_GROUPS`  | `512`                  | distinct trajectory groups in the shared pool  |
 //! | `MPN_CAP_BATCH`   | `256`                  | sessions per work-stealing batch               |
 //! | `MPN_CAP_SEED`    | `42`                   | master seed                                    |
-//! | `MPN_OUT`         | `BENCH_9.json`         | JSON report path                               |
+//! | `MPN_OUT`         | `BENCH_10.json`         | JSON report path                               |
 //!
 //! Measured numbers come from one [`mpn_sim::EngineReport`] snapshot per phase boundary
 //! (see `mpn-sim`'s crate docs, "Engine-wide snapshots").

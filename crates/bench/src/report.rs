@@ -1,5 +1,5 @@
 //! Rendering for the capacity sweep: a human-readable scaling table on stdout and the
-//! machine-readable `BENCH_9.json` series.
+//! machine-readable `BENCH_10.json` series.
 //!
 //! The JSON is written by hand (the workspace is offline — no serde), which keeps the
 //! schema explicit here in one place.  Top level:
@@ -7,7 +7,7 @@
 //! ```json
 //! {
 //!   "bench": "capacity",
-//!   "pr": 9,
+//!   "pr": 10,
 //!   "knobs": { "shards": 2, "tick_batch": 256, ... },
 //!   "sweep": [ { "sessions": 10000, "ticks_per_sec": ..., ... }, ... ]
 //! }
@@ -31,11 +31,11 @@ fn json_f64(value: f64) -> String {
     }
 }
 
-/// Renders the sweep as the checked-in `BENCH_9.json` document.
+/// Renders the sweep as the checked-in `BENCH_10.json` document.
 #[must_use]
 pub fn render_json(config: &CapacityConfig, sweep: &[CapacityOutcome]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"bench\": \"capacity\",\n  \"pr\": 9,\n  \"knobs\": {\n");
+    out.push_str("{\n  \"bench\": \"capacity\",\n  \"pr\": 10,\n  \"knobs\": {\n");
     let _ = writeln!(out, "    \"shards\": {},", config.shards);
     let _ = writeln!(out, "    \"tick_batch\": {},", config.tick_batch);
     let _ = writeln!(out, "    \"warmup_ticks\": {},", config.warmup_ticks);

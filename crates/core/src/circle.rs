@@ -5,9 +5,11 @@
 //! meeting points: Theorem 1 for the MAX objective, Theorem 5 for the SUM objective.
 
 use mpn_geom::{Circle, Point};
-use mpn_index::{GnnNeighbor, IndexView, QueryStats};
+use mpn_index::{Aggregate, GnnNeighbor, IndexView, QueryStats};
 
-use crate::Objective;
+use crate::region::SafeRegion;
+use crate::server::Answer;
+use crate::{ComputeStats, Objective};
 
 /// Result of Circle-MSR: the optimum, the runner-up and the common radius.
 #[derive(Debug, Clone)]
@@ -64,20 +66,61 @@ pub fn circle_msr<'a>(
     radius_cap: f64,
 ) -> CircleMsr {
     let view = tree.into();
+    let (optimal, runner_up, radius, stats) = circle_top2(view, users, objective, radius_cap);
+    let regions = users.iter().map(|u| Circle::new(*u, radius)).collect();
+    CircleMsr { optimal, runner_up, radius, regions, stats }
+}
+
+/// Runs Circle-MSR and builds the server [`Answer`] directly — the monitoring hot path.
+///
+/// Same computation (and bit-identical stats) as [`circle_msr`] followed by the
+/// `Answer` conversion, but the per-user regions are collected **once**, straight into the
+/// `Vec<SafeRegion>` the answer owns, instead of a `Vec<Circle>` that is then mapped into a
+/// second vector.  Together with [`IndexView::top2`] this makes a warm-cache circle update
+/// allocate only the answer's single region vector.
+///
+/// # Panics
+/// Panics when the view is empty or the user group is empty.
+#[must_use]
+pub fn circle_msr_answer<'a>(
+    tree: impl Into<IndexView<'a>>,
+    users: &[Point],
+    objective: Objective,
+    radius_cap: f64,
+) -> Answer {
+    let view = tree.into();
+    let (optimal, _, radius, gnn) = circle_top2(view, users, objective, radius_cap);
+    let mut stats = ComputeStats::default();
+    stats.gnn.absorb(gnn);
+    stats.rtree_queries = 1;
+    Answer {
+        optimal_index: optimal.entry.id,
+        optimal_point: optimal.entry.location,
+        optimal_dist: optimal.dist,
+        regions: users.iter().map(|u| SafeRegion::Circle(Circle::new(*u, radius))).collect(),
+        stats,
+    }
+}
+
+/// The shared core of Algorithm 1: top-2 GNN plus the Theorem 1 / Theorem 5 radius.
+fn circle_top2(
+    view: IndexView<'_>,
+    users: &[Point],
+    objective: Objective,
+    radius_cap: f64,
+) -> (GnnNeighbor, Option<GnnNeighbor>, f64, QueryStats) {
     assert!(!view.is_empty(), "Circle-MSR requires a non-empty POI set");
     assert!(!users.is_empty(), "Circle-MSR requires at least one user");
 
-    let (top2, stats) = view.top_k(users, objective.aggregate(), 2);
-    let optimal = top2[0];
-    let runner_up = top2.get(1).copied();
+    let aggregate: Aggregate = objective.aggregate();
+    let (best, runner_up, stats) = view.top2(users, aggregate);
+    let optimal = best.expect("a non-empty view yields a top-1 GNN");
     let radius = runner_up
         .map_or(radius_cap, |second| {
             maximal_circle_radius(objective, optimal.dist, second.dist, users.len())
         })
         .min(radius_cap);
-
-    let regions = users.iter().map(|u| Circle::new(*u, radius)).collect();
-    CircleMsr { optimal, runner_up, radius, regions, stats }
+    (optimal, runner_up, radius, stats)
 }
 
 #[cfg(test)]

@@ -21,12 +21,12 @@ use std::fmt;
 use mpn_geom::Point;
 use mpn_index::IndexView;
 
-use crate::circle::{circle_msr, DEFAULT_RADIUS_CAP};
+use crate::circle::{circle_msr_answer, DEFAULT_RADIUS_CAP};
 use crate::region::SafeRegion;
 use crate::server::Answer;
 use crate::session::SessionState;
 use crate::tile::{tile_msr_cached, TileMsr, TileMsrConfig};
-use crate::{ComputeStats, Objective};
+use crate::Objective;
 
 /// Everything an engine needs from the server: the POI index view and the objective.
 ///
@@ -57,6 +57,18 @@ impl<'a> EngineContext<'a> {
 pub trait SafeRegionEngine: fmt::Debug + Send + Sync {
     /// Short name used in experiment output, mirroring the paper's legends.
     fn name(&self) -> &'static str;
+
+    /// Whether this engine ever reads the session's predicted headings.
+    ///
+    /// Engines that return `false` let the monitoring layer skip the per-update
+    /// [`SessionState::observe`] call entirely — one `atan2` per user per epoch on the tick
+    /// hot path.  This is sound only when the engine never consults
+    /// [`SessionState::predicted_headings`] (the predictor state becomes write-only, so not
+    /// writing it is unobservable).  Defaults to `true`; the directed tile orderings are the
+    /// reason the hook exists on the trait rather than being hard-coded per method.
+    fn uses_headings(&self) -> bool {
+        true
+    }
 
     /// One-shot computation: the optimal meeting point plus one safe region per user.
     ///
@@ -117,23 +129,34 @@ impl SafeRegionEngine for CircleEngine {
         "Circle"
     }
 
+    /// Circle-MSR is heading-oblivious: neither [`compute`](SafeRegionEngine::compute) below
+    /// nor [`circle_msr_answer`] ever reads a predicted heading, so the monitoring layer may
+    /// skip feeding the predictors for circle groups.
+    fn uses_headings(&self) -> bool {
+        false
+    }
+
     fn compute_stateless(
         &self,
         ctx: EngineContext<'_>,
         users: &[Point],
         _headings: Option<&[Option<f64>]>,
     ) -> Answer {
-        let out = circle_msr(ctx.tree, users, ctx.objective, self.radius_cap);
-        let mut stats = ComputeStats::default();
-        stats.gnn.absorb(out.stats);
-        stats.rtree_queries = 1;
-        Answer {
-            optimal_index: out.optimal.entry.id,
-            optimal_point: out.optimal.entry.location,
-            optimal_dist: out.optimal.dist,
-            regions: out.regions.into_iter().map(SafeRegion::Circle).collect(),
-            stats,
-        }
+        circle_msr_answer(ctx.tree, users, ctx.objective, self.radius_cap)
+    }
+
+    /// Circle-MSR ignores headings, so the stateful path skips the per-update
+    /// `predicted_headings()` vector the default implementation would build — with a warm
+    /// query cache the only allocation left in a circle update is the answer's region
+    /// vector.
+    fn compute<'s>(
+        &self,
+        ctx: EngineContext<'_>,
+        users: &[Point],
+        session: &'s mut SessionState,
+    ) -> &'s Answer {
+        let answer = self.compute_stateless(ctx, users, None);
+        session.record_answer(answer, ctx.tree.generation())
     }
 }
 

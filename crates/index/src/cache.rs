@@ -108,53 +108,76 @@ enum QueryKind {
     SumRadius,
 }
 
-/// A fully resolved cache key: the bucket (quantized) hash plus the exact scalars that must
-/// match bit for bit for a hit.
-#[derive(Debug)]
-pub(crate) struct CacheKey {
+/// A borrowed cache probe: the bucket (quantized) hash plus the exact scalars, staged in a
+/// per-worker [`QueryScratch`](crate::QueryScratch) buffer so a lookup allocates nothing.
+/// An owned [`CacheKey`] is only materialised from it on the miss path, for insertion.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ProbeKey<'a> {
     kind: QueryKind,
     generation: u64,
     /// Bucket selector: hash over kind, generation and *quantized* scalars.
     bucket: u64,
     /// Exact match material: every query scalar as its IEEE-754 bit pattern, in a fixed
     /// order (user coordinates, then radii / threshold).
+    exact: &'a [u64],
+}
+
+/// A fully resolved, owned cache key as stored in a stripe.
+#[derive(Debug)]
+pub(crate) struct CacheKey {
+    kind: QueryKind,
+    generation: u64,
+    bucket: u64,
     exact: Vec<u64>,
 }
 
-impl CacheKey {
-    fn build(
-        kind: QueryKind,
-        generation: u64,
-        users: &[Point],
-        extra: &[f64],
-        quantum: f64,
-    ) -> Self {
-        let mut exact = Vec::with_capacity(users.len() * 2 + extra.len());
-        for user in users {
-            exact.push(user.x.to_bits());
-            exact.push(user.y.to_bits());
-        }
-        exact.extend(extra.iter().map(|v| v.to_bits()));
-
-        // DefaultHasher is deterministic when built directly (fixed SipHash keys), unlike a
-        // HashMap's per-instance RandomState — the bucket of a query must not depend on
-        // which cache instance computes it.
-        let mut hasher = DefaultHasher::new();
-        kind.hash(&mut hasher);
-        generation.hash(&mut hasher);
-        for user in users {
-            quantize(user.x, quantum).hash(&mut hasher);
-            quantize(user.y, quantum).hash(&mut hasher);
-        }
-        for value in extra {
-            quantize(*value, quantum).hash(&mut hasher);
-        }
-        let bucket = hasher.finish();
-        Self { kind, generation, bucket, exact }
+fn build_probe<'a>(
+    kind: QueryKind,
+    generation: u64,
+    users: &[Point],
+    extra: &[f64],
+    quantum: f64,
+    scratch: &'a mut Vec<u64>,
+) -> ProbeKey<'a> {
+    scratch.clear();
+    scratch.reserve(users.len() * 2 + extra.len());
+    for user in users {
+        scratch.push(user.x.to_bits());
+        scratch.push(user.y.to_bits());
     }
+    scratch.extend(extra.iter().map(|v| v.to_bits()));
 
-    fn matches(&self, other: &CacheKey) -> bool {
-        self.kind == other.kind && self.generation == other.generation && self.exact == other.exact
+    // DefaultHasher is deterministic when built directly (fixed SipHash keys), unlike a
+    // HashMap's per-instance RandomState — the bucket of a query must not depend on
+    // which cache instance computes it.
+    let mut hasher = DefaultHasher::new();
+    kind.hash(&mut hasher);
+    generation.hash(&mut hasher);
+    for user in users {
+        quantize(user.x, quantum).hash(&mut hasher);
+        quantize(user.y, quantum).hash(&mut hasher);
+    }
+    for value in extra {
+        quantize(*value, quantum).hash(&mut hasher);
+    }
+    let bucket = hasher.finish();
+    ProbeKey { kind, generation, bucket, exact: scratch }
+}
+
+impl CacheKey {
+    fn matches(&self, probe: ProbeKey<'_>) -> bool {
+        self.kind == probe.kind && self.generation == probe.generation && self.exact == probe.exact
+    }
+}
+
+impl From<ProbeKey<'_>> for CacheKey {
+    fn from(probe: ProbeKey<'_>) -> Self {
+        Self {
+            kind: probe.kind,
+            generation: probe.generation,
+            bucket: probe.bucket,
+            exact: probe.exact.to_vec(),
+        }
     }
 }
 
@@ -275,75 +298,116 @@ impl QueryCache {
         }
     }
 
-    pub(crate) fn top_k_key(
+    pub(crate) fn top_k_probe<'a>(
         &self,
         generation: u64,
         users: &[Point],
         aggregate: Aggregate,
         k: usize,
-    ) -> CacheKey {
-        CacheKey::build(QueryKind::TopK { aggregate, k }, generation, users, &[], self.quantum)
+        scratch: &'a mut Vec<u64>,
+    ) -> ProbeKey<'a> {
+        build_probe(QueryKind::TopK { aggregate, k }, generation, users, &[], self.quantum, scratch)
     }
 
-    pub(crate) fn user_radii_key(
+    pub(crate) fn user_radii_probe<'a>(
         &self,
         generation: u64,
         users: &[Point],
         radii: &[f64],
-    ) -> CacheKey {
-        CacheKey::build(QueryKind::UserRadii, generation, users, radii, self.quantum)
+        scratch: &'a mut Vec<u64>,
+    ) -> ProbeKey<'a> {
+        build_probe(QueryKind::UserRadii, generation, users, radii, self.quantum, scratch)
     }
 
-    pub(crate) fn sum_radius_key(
+    pub(crate) fn sum_radius_probe<'a>(
         &self,
         generation: u64,
         users: &[Point],
         threshold: f64,
-    ) -> CacheKey {
-        CacheKey::build(QueryKind::SumRadius, generation, users, &[threshold], self.quantum)
+        scratch: &'a mut Vec<u64>,
+    ) -> ProbeKey<'a> {
+        build_probe(QueryKind::SumRadius, generation, users, &[threshold], self.quantum, scratch)
     }
 
-    pub(crate) fn get_neighbors(&self, key: &CacheKey) -> Option<(Vec<GnnNeighbor>, QueryStats)> {
-        match self.get(key) {
-            Some(Payload::Neighbors(neighbors, stats)) => Some((neighbors, stats)),
-            _ => None,
-        }
+    /// Looks `probe` up and, on a hit, copies the cached neighbours into `out` (clearing it
+    /// first) — no allocation once `out`'s capacity is warm.
+    pub(crate) fn get_neighbors_into(
+        &self,
+        probe: ProbeKey<'_>,
+        out: &mut Vec<GnnNeighbor>,
+    ) -> Option<QueryStats> {
+        self.lookup(probe, |payload| match payload {
+            Payload::Neighbors(neighbors, stats) => {
+                out.clear();
+                out.extend_from_slice(neighbors);
+                *stats
+            }
+            Payload::Entries(..) => unreachable!("kind is part of the key"),
+        })
     }
 
-    pub(crate) fn get_entries(&self, key: &CacheKey) -> Option<(Vec<PoiEntry>, QueryStats)> {
-        match self.get(key) {
-            Some(Payload::Entries(entries, stats)) => Some((entries, stats)),
-            _ => None,
-        }
+    /// Looks `probe` up and, on a hit, copies out the first two cached neighbours — the
+    /// Circle-MSR fast path, allocation-free on both hit and lookup.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn get_top2(
+        &self,
+        probe: ProbeKey<'_>,
+    ) -> Option<(Option<GnnNeighbor>, Option<GnnNeighbor>, QueryStats)> {
+        self.lookup(probe, |payload| match payload {
+            Payload::Neighbors(neighbors, stats) => {
+                (neighbors.first().copied(), neighbors.get(1).copied(), *stats)
+            }
+            Payload::Entries(..) => unreachable!("kind is part of the key"),
+        })
+    }
+
+    /// Looks `probe` up and, on a hit, copies the cached candidate entries into `out`
+    /// (clearing it first).
+    pub(crate) fn get_entries_into(
+        &self,
+        probe: ProbeKey<'_>,
+        out: &mut Vec<PoiEntry>,
+    ) -> Option<QueryStats> {
+        self.lookup(probe, |payload| match payload {
+            Payload::Entries(entries, stats) => {
+                out.clear();
+                out.extend_from_slice(entries);
+                *stats
+            }
+            Payload::Neighbors(..) => unreachable!("kind is part of the key"),
+        })
     }
 
     pub(crate) fn put_neighbors(
         &self,
-        key: CacheKey,
+        probe: ProbeKey<'_>,
         neighbors: &[GnnNeighbor],
         stats: QueryStats,
     ) {
-        self.put(key, Payload::Neighbors(neighbors.to_vec(), stats));
+        self.put(probe.into(), Payload::Neighbors(neighbors.to_vec(), stats));
     }
 
-    pub(crate) fn put_entries(&self, key: CacheKey, entries: &[PoiEntry], stats: QueryStats) {
-        self.put(key, Payload::Entries(entries.to_vec(), stats));
+    pub(crate) fn put_entries(&self, probe: ProbeKey<'_>, entries: &[PoiEntry], stats: QueryStats) {
+        self.put(probe.into(), Payload::Entries(entries.to_vec(), stats));
     }
 
-    fn stripe(&self, key: &CacheKey) -> &Mutex<HashMap<u64, (CacheKey, Payload)>> {
-        &self.stripes[(key.bucket % self.stripes.len() as u64) as usize]
+    fn stripe(&self, bucket: u64) -> &Mutex<HashMap<u64, (CacheKey, Payload)>> {
+        &self.stripes[(bucket % self.stripes.len() as u64) as usize]
     }
 
-    fn get(&self, key: &CacheKey) -> Option<Payload> {
-        let stripe = lock(self.stripe(key));
-        match stripe.get(&key.bucket) {
+    /// One direct-mapped lookup: on a hit, `read` extracts whatever the caller needs from
+    /// the payload *under the stripe lock* (a copy into a scratch buffer, never a fresh
+    /// allocation of the whole payload).
+    fn lookup<R>(&self, probe: ProbeKey<'_>, read: impl FnOnce(&Payload) -> R) -> Option<R> {
+        let stripe = lock(self.stripe(probe.bucket));
+        match stripe.get(&probe.bucket) {
             // The bucket is direct-mapped: a slot whose exact scalars differ (a quantization
             // or hash collision) is a miss, never a wrong answer.
-            Some((stored, payload)) if stored.matches(key) => {
-                let payload = payload.clone();
+            Some((stored, payload)) if stored.matches(probe) => {
+                let out = read(payload);
                 drop(stripe);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(payload)
+                Some(out)
             }
             _ => {
                 drop(stripe);
@@ -354,7 +418,7 @@ impl QueryCache {
     }
 
     fn put(&self, key: CacheKey, payload: Payload) {
-        let mut stripe = lock(self.stripe(&key));
+        let mut stripe = lock(self.stripe(key.bucket));
         if stripe.len() >= self.stripe_capacity && !stripe.contains_key(&key.bucket) {
             // Crude eviction: drop an arbitrary entry.  Entries of dead generations are the
             // common victims in practice — they are never looked up again, only displaced.

@@ -90,11 +90,21 @@ impl<'a> GnnSearch<'a> {
     /// The `k` best meeting points in increasing aggregate distance, plus traversal statistics.
     #[must_use]
     pub fn top_k(&self, k: usize) -> (Vec<GnnNeighbor>, QueryStats) {
-        let mut out = Vec::with_capacity(k.min(self.tree.len()));
+        let mut out = Vec::new();
+        let stats = self.top_k_into(k, &mut out);
+        (out, stats)
+    }
+
+    /// [`top_k`](GnnSearch::top_k) into a caller-provided buffer (cleared first), so a
+    /// reused scratch vector pays no per-query result allocation.  Results and
+    /// [`QueryStats`] are bit-identical to [`top_k`](GnnSearch::top_k).
+    pub fn top_k_into(&self, k: usize, out: &mut Vec<GnnNeighbor>) -> QueryStats {
+        out.clear();
         let mut stats = QueryStats::default();
         if k == 0 || self.tree.is_empty() {
-            return (out, stats);
+            return stats;
         }
+        out.reserve(k.min(self.tree.len()));
         let mut heap = BestFirstHeap::new();
         if let Some(root) = self.tree.root() {
             heap.push_node(self.aggregate.rect_lower_bound(&root.mbr(), self.users), root);
@@ -131,7 +141,7 @@ impl<'a> GnnSearch<'a> {
                 }
             }
         }
-        (out, stats)
+        stats
     }
 }
 

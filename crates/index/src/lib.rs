@@ -32,6 +32,7 @@
 pub mod cache;
 pub mod gnn;
 pub mod rtree;
+pub mod scratch;
 pub mod world;
 
 pub use cache::{
@@ -39,4 +40,5 @@ pub use cache::{
 };
 pub use gnn::{Aggregate, GnnNeighbor, GnnSearch};
 pub use rtree::{PoiEntry, QueryStats, RTree, RTreeConfig};
+pub use scratch::{with_scratch, QueryScratch};
 pub use world::{IndexView, WorldView, DEFAULT_COMPACTION_THRESHOLD};

@@ -342,31 +342,61 @@ impl RTree {
         users: &[Point],
         radii: &[f64],
     ) -> (Vec<PoiEntry>, QueryStats) {
-        assert_eq!(users.len(), radii.len(), "one radius per user");
         let mut out = Vec::new();
+        let stats = self.candidates_within_user_radii_into(users, radii, &mut out);
+        (out, stats)
+    }
+
+    /// [`candidates_within_user_radii`](RTree::candidates_within_user_radii) into a
+    /// caller-provided buffer (cleared first): a reused scratch vector makes the walk
+    /// allocation-free.  The visit stack is the program stack — the walk recurses, bounded
+    /// by the tree height.
+    pub fn candidates_within_user_radii_into(
+        &self,
+        users: &[Point],
+        radii: &[f64],
+        out: &mut Vec<PoiEntry>,
+    ) -> QueryStats {
+        assert_eq!(users.len(), radii.len(), "one radius per user");
+        out.clear();
         let mut stats = QueryStats::default();
-        let mut stack: Vec<&Node> = self.root.iter().collect();
-        while let Some(node) = stack.pop() {
-            let mbr = node.mbr();
-            let pruned = users.iter().zip(radii).any(|(u, r)| mbr.min_dist(*u) > *r);
-            if pruned {
-                continue;
-            }
-            stats.nodes_visited += 1;
-            match node {
-                Node::Leaf { entries, .. } => {
-                    for e in entries {
-                        stats.points_examined += 1;
-                        let keep = users.iter().zip(radii).all(|(u, r)| e.location.dist(*u) <= *r);
-                        if keep {
-                            out.push(*e);
-                        }
+        if let Some(root) = &self.root {
+            Self::user_radii_walk(root, users, radii, out, &mut stats);
+        }
+        stats
+    }
+
+    /// Depth-first candidate walk.  Children are descended in *reverse* order, which is the
+    /// visit order of the historical explicit LIFO stack — output order is part of the
+    /// bit-identity contract (cached payloads replay it verbatim).
+    fn user_radii_walk(
+        node: &Node,
+        users: &[Point],
+        radii: &[f64],
+        out: &mut Vec<PoiEntry>,
+        stats: &mut QueryStats,
+    ) {
+        let mbr = node.mbr();
+        if users.iter().zip(radii).any(|(u, r)| mbr.min_dist(*u) > *r) {
+            return;
+        }
+        stats.nodes_visited += 1;
+        match node {
+            Node::Leaf { entries, .. } => {
+                for e in entries {
+                    stats.points_examined += 1;
+                    let keep = users.iter().zip(radii).all(|(u, r)| e.location.dist(*u) <= *r);
+                    if keep {
+                        out.push(*e);
                     }
                 }
-                Node::Internal { children, .. } => stack.extend(children.iter()),
+            }
+            Node::Internal { children, .. } => {
+                for c in children.iter().rev() {
+                    Self::user_radii_walk(c, users, radii, out, stats);
+                }
             }
         }
-        (out, stats)
     }
 
     /// Candidate POIs for the SUM objective: every POI whose summed distance to the users is at
@@ -379,29 +409,56 @@ impl RTree {
         threshold: f64,
     ) -> (Vec<PoiEntry>, QueryStats) {
         let mut out = Vec::new();
+        let stats = self.candidates_within_sum_radius_into(users, threshold, &mut out);
+        (out, stats)
+    }
+
+    /// [`candidates_within_sum_radius`](RTree::candidates_within_sum_radius) into a
+    /// caller-provided buffer (cleared first); same recursion/visit-order contract as
+    /// [`candidates_within_user_radii_into`](RTree::candidates_within_user_radii_into).
+    pub fn candidates_within_sum_radius_into(
+        &self,
+        users: &[Point],
+        threshold: f64,
+        out: &mut Vec<PoiEntry>,
+    ) -> QueryStats {
+        out.clear();
         let mut stats = QueryStats::default();
-        let mut stack: Vec<&Node> = self.root.iter().collect();
-        while let Some(node) = stack.pop() {
-            let mbr = node.mbr();
-            let lower: f64 = users.iter().map(|u| mbr.min_dist(*u)).sum();
-            if lower > threshold {
-                continue;
-            }
-            stats.nodes_visited += 1;
-            match node {
-                Node::Leaf { entries, .. } => {
-                    for e in entries {
-                        stats.points_examined += 1;
-                        let sum: f64 = users.iter().map(|u| e.location.dist(*u)).sum();
-                        if sum <= threshold {
-                            out.push(*e);
-                        }
+        if let Some(root) = &self.root {
+            Self::sum_radius_walk(root, users, threshold, out, &mut stats);
+        }
+        stats
+    }
+
+    fn sum_radius_walk(
+        node: &Node,
+        users: &[Point],
+        threshold: f64,
+        out: &mut Vec<PoiEntry>,
+        stats: &mut QueryStats,
+    ) {
+        let mbr = node.mbr();
+        let lower: f64 = users.iter().map(|u| mbr.min_dist(*u)).sum();
+        if lower > threshold {
+            return;
+        }
+        stats.nodes_visited += 1;
+        match node {
+            Node::Leaf { entries, .. } => {
+                for e in entries {
+                    stats.points_examined += 1;
+                    let sum: f64 = users.iter().map(|u| e.location.dist(*u)).sum();
+                    if sum <= threshold {
+                        out.push(*e);
                     }
                 }
-                Node::Internal { children, .. } => stack.extend(children.iter()),
+            }
+            Node::Internal { children, .. } => {
+                for c in children.iter().rev() {
+                    Self::sum_radius_walk(c, users, threshold, out, stats);
+                }
             }
         }
-        (out, stats)
     }
 
     pub(crate) fn root(&self) -> Option<&Node> {

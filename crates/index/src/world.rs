@@ -27,6 +27,7 @@ use mpn_geom::Point;
 use crate::cache::QueryCache;
 use crate::gnn::{Aggregate, GnnNeighbor, GnnSearch};
 use crate::rtree::{next_generation, PoiEntry, QueryStats, RTree};
+use crate::scratch::with_scratch;
 
 /// The pending delta against the base tree: inserted entries and deleted base ids.
 ///
@@ -307,42 +308,98 @@ impl<'a> IndexView<'a> {
         aggregate: Aggregate,
         k: usize,
     ) -> (Vec<GnnNeighbor>, QueryStats) {
-        assert!(!users.is_empty(), "GNN search requires at least one user");
-        let Some(cache) = self.cache else {
-            return self.top_k_uncached(users, aggregate, k);
-        };
-        let key = cache.top_k_key(self.generation, users, aggregate, k);
-        if let Some(cached) = cache.get_neighbors(&key) {
-            return cached;
-        }
-        let (neighbors, stats) = self.top_k_uncached(users, aggregate, k);
-        cache.put_neighbors(key, &neighbors, stats);
-        (neighbors, stats)
+        let mut out = Vec::new();
+        let stats = self.top_k_into(users, aggregate, k, &mut out);
+        (out, stats)
     }
 
-    fn top_k_uncached(
+    /// [`top_k`](IndexView::top_k) into a caller-provided buffer (cleared first).  With a
+    /// reused buffer and a warm cache the whole lookup — probe key, hit check, result copy —
+    /// performs zero heap allocations; results and stats are bit-identical to
+    /// [`top_k`](IndexView::top_k).
+    ///
+    /// # Panics
+    /// Panics when `users` is empty.
+    pub fn top_k_into(
         &self,
         users: &[Point],
         aggregate: Aggregate,
         k: usize,
-    ) -> (Vec<GnnNeighbor>, QueryStats) {
-        let Some(overlay) = self.overlay else {
-            return GnnSearch::new(self.base, users, aggregate).top_k(k);
+        out: &mut Vec<GnnNeighbor>,
+    ) -> QueryStats {
+        assert!(!users.is_empty(), "GNN search requires at least one user");
+        let Some(cache) = self.cache else {
+            return self.top_k_uncached_into(users, aggregate, k, out);
         };
-        let (base_top, mut stats) =
-            GnnSearch::new(self.base, users, aggregate).top_k(k + overlay.deletes.len());
-        let mut merged: Vec<GnnNeighbor> =
-            base_top.into_iter().filter(|n| !overlay.deletes.contains(&n.entry.id)).collect();
+        with_scratch(|scratch| {
+            let probe = cache.top_k_probe(self.generation, users, aggregate, k, &mut scratch.probe);
+            if let Some(stats) = cache.get_neighbors_into(probe, out) {
+                return stats;
+            }
+            let stats = self.top_k_uncached_into(users, aggregate, k, out);
+            cache.put_neighbors(probe, out, stats);
+            stats
+        })
+    }
+
+    /// The best and second-best meeting points under `aggregate` — the Circle-MSR fast path
+    /// (Algorithm 1 line 1 needs exactly the top-2).  Cache key, lookup counters and stats
+    /// are identical to `top_k(users, aggregate, 2)`, but a warm-cache call allocates
+    /// nothing: the probe key and the miss-path staging live in the per-worker
+    /// [`QueryScratch`](crate::QueryScratch), and a hit copies out two `GnnNeighbor`s
+    /// instead of cloning the payload vector.
+    ///
+    /// # Panics
+    /// Panics when `users` is empty.
+    #[must_use]
+    pub fn top2(
+        &self,
+        users: &[Point],
+        aggregate: Aggregate,
+    ) -> (Option<GnnNeighbor>, Option<GnnNeighbor>, QueryStats) {
+        assert!(!users.is_empty(), "GNN search requires at least one user");
+        with_scratch(|scratch| {
+            let Some(cache) = self.cache else {
+                let stats = self.top_k_uncached_into(users, aggregate, 2, &mut scratch.neighbors);
+                return (
+                    scratch.neighbors.first().copied(),
+                    scratch.neighbors.get(1).copied(),
+                    stats,
+                );
+            };
+            let probe = cache.top_k_probe(self.generation, users, aggregate, 2, &mut scratch.probe);
+            if let Some(hit) = cache.get_top2(probe) {
+                return hit;
+            }
+            let stats = self.top_k_uncached_into(users, aggregate, 2, &mut scratch.neighbors);
+            cache.put_neighbors(probe, &scratch.neighbors, stats);
+            (scratch.neighbors.first().copied(), scratch.neighbors.get(1).copied(), stats)
+        })
+    }
+
+    fn top_k_uncached_into(
+        &self,
+        users: &[Point],
+        aggregate: Aggregate,
+        k: usize,
+        out: &mut Vec<GnnNeighbor>,
+    ) -> QueryStats {
+        let Some(overlay) = self.overlay else {
+            return GnnSearch::new(self.base, users, aggregate).top_k_into(k, out);
+        };
+        let mut stats =
+            GnnSearch::new(self.base, users, aggregate).top_k_into(k + overlay.deletes.len(), out);
+        out.retain(|n| !overlay.deletes.contains(&n.entry.id));
         stats.points_examined += overlay.inserts.len();
-        merged.extend(
+        out.extend(
             overlay
                 .inserts
                 .iter()
                 .map(|e| GnnNeighbor { entry: *e, dist: aggregate.point_dist(e.location, users) }),
         );
-        merged.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-        merged.truncate(k);
-        (merged, stats)
+        out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+        out.truncate(k);
+        stats
     }
 
     /// Candidate POIs for the MAX objective: every live POI within `radii[i]` of every user
@@ -353,24 +410,41 @@ impl<'a> IndexView<'a> {
         users: &[Point],
         radii: &[f64],
     ) -> (Vec<PoiEntry>, QueryStats) {
-        let Some(cache) = self.cache else {
-            return self.candidates_within_user_radii_uncached(users, radii);
-        };
-        let key = cache.user_radii_key(self.generation, users, radii);
-        if let Some(cached) = cache.get_entries(&key) {
-            return cached;
-        }
-        let (entries, stats) = self.candidates_within_user_radii_uncached(users, radii);
-        cache.put_entries(key, &entries, stats);
-        (entries, stats)
+        let mut out = Vec::new();
+        let stats = self.candidates_within_user_radii_into(users, radii, &mut out);
+        (out, stats)
     }
 
-    fn candidates_within_user_radii_uncached(
+    /// [`candidates_within_user_radii`](IndexView::candidates_within_user_radii) into a
+    /// caller-provided buffer (cleared first); allocation-free with a reused buffer and a
+    /// warm cache.
+    pub fn candidates_within_user_radii_into(
         &self,
         users: &[Point],
         radii: &[f64],
-    ) -> (Vec<PoiEntry>, QueryStats) {
-        let (mut out, mut stats) = self.base.candidates_within_user_radii(users, radii);
+        out: &mut Vec<PoiEntry>,
+    ) -> QueryStats {
+        let Some(cache) = self.cache else {
+            return self.candidates_within_user_radii_uncached_into(users, radii, out);
+        };
+        with_scratch(|scratch| {
+            let probe = cache.user_radii_probe(self.generation, users, radii, &mut scratch.probe);
+            if let Some(stats) = cache.get_entries_into(probe, out) {
+                return stats;
+            }
+            let stats = self.candidates_within_user_radii_uncached_into(users, radii, out);
+            cache.put_entries(probe, out, stats);
+            stats
+        })
+    }
+
+    fn candidates_within_user_radii_uncached_into(
+        &self,
+        users: &[Point],
+        radii: &[f64],
+        out: &mut Vec<PoiEntry>,
+    ) -> QueryStats {
+        let mut stats = self.base.candidates_within_user_radii_into(users, radii, out);
         if let Some(overlay) = self.overlay {
             out.retain(|e| !overlay.deletes.contains(&e.id));
             stats.points_examined += overlay.inserts.len();
@@ -382,7 +456,7 @@ impl<'a> IndexView<'a> {
                     .filter(|e| users.iter().zip(radii).all(|(u, r)| e.location.dist(*u) <= *r)),
             );
         }
-        (out, stats)
+        stats
     }
 
     /// Candidate POIs for the SUM objective: every live POI whose summed user distance is at
@@ -393,24 +467,42 @@ impl<'a> IndexView<'a> {
         users: &[Point],
         threshold: f64,
     ) -> (Vec<PoiEntry>, QueryStats) {
-        let Some(cache) = self.cache else {
-            return self.candidates_within_sum_radius_uncached(users, threshold);
-        };
-        let key = cache.sum_radius_key(self.generation, users, threshold);
-        if let Some(cached) = cache.get_entries(&key) {
-            return cached;
-        }
-        let (entries, stats) = self.candidates_within_sum_radius_uncached(users, threshold);
-        cache.put_entries(key, &entries, stats);
-        (entries, stats)
+        let mut out = Vec::new();
+        let stats = self.candidates_within_sum_radius_into(users, threshold, &mut out);
+        (out, stats)
     }
 
-    fn candidates_within_sum_radius_uncached(
+    /// [`candidates_within_sum_radius`](IndexView::candidates_within_sum_radius) into a
+    /// caller-provided buffer (cleared first); allocation-free with a reused buffer and a
+    /// warm cache.
+    pub fn candidates_within_sum_radius_into(
         &self,
         users: &[Point],
         threshold: f64,
-    ) -> (Vec<PoiEntry>, QueryStats) {
-        let (mut out, mut stats) = self.base.candidates_within_sum_radius(users, threshold);
+        out: &mut Vec<PoiEntry>,
+    ) -> QueryStats {
+        let Some(cache) = self.cache else {
+            return self.candidates_within_sum_radius_uncached_into(users, threshold, out);
+        };
+        with_scratch(|scratch| {
+            let probe =
+                cache.sum_radius_probe(self.generation, users, threshold, &mut scratch.probe);
+            if let Some(stats) = cache.get_entries_into(probe, out) {
+                return stats;
+            }
+            let stats = self.candidates_within_sum_radius_uncached_into(users, threshold, out);
+            cache.put_entries(probe, out, stats);
+            stats
+        })
+    }
+
+    fn candidates_within_sum_radius_uncached_into(
+        &self,
+        users: &[Point],
+        threshold: f64,
+        out: &mut Vec<PoiEntry>,
+    ) -> QueryStats {
+        let mut stats = self.base.candidates_within_sum_radius_into(users, threshold, out);
         if let Some(overlay) = self.overlay {
             out.retain(|e| !overlay.deletes.contains(&e.id));
             stats.points_examined += overlay.inserts.len();
@@ -420,7 +512,7 @@ impl<'a> IndexView<'a> {
                 }),
             );
         }
-        (out, stats)
+        stats
     }
 }
 

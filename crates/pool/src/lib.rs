@@ -34,6 +34,19 @@
 //! surfaces them as tick counters.  They describe *scheduling*, which is racy by design:
 //! two runs of the same workload may steal differently while computing identical results.
 //!
+//! # Workers persist, and so do their arenas
+//!
+//! The pool's threads live for the lifetime of the pool, which is what makes *per-worker*
+//! scratch state cheap: thread-keyed arenas (e.g. `mpn-index`'s query scratch, which keeps
+//! the cache probe key and candidate staging buffers) are built once per worker and then
+//! reused by every batch that worker executes, tick after tick.  A scoped-thread executor
+//! gets fresh threads — and therefore cold arenas — every tick; routing the tick through
+//! the pool is what turns those per-query allocations into steady-state zero.
+//!
+//! The dispatch path is deliberately lean for the same reason: the barrier count is a
+//! plain atomic (no mutex round-trip per submitted job), and only the final decrement to
+//! zero takes the completion lock to signal the barrier.
+//!
 //! # Panic semantics
 //!
 //! * A job that panics is caught on the worker (keeping the pool alive), recorded, and the
@@ -75,8 +88,14 @@ struct Shared {
     /// under it before waiting, so no wake-up is ever lost.
     parking: Mutex<bool>,
     work_ready: Condvar,
-    /// Jobs submitted to the current scope that have not completed yet.
-    pending: Mutex<usize>,
+    /// Jobs submitted to the current scope that have not completed yet.  A plain atomic so
+    /// the dispatch hot path (thousands of batch jobs per tick) pays no mutex round-trip;
+    /// [`Shared::done`] is locked only around the barrier wait and the final decrement.
+    pending: AtomicUsize,
+    /// Completion lock for the barrier: [`Scope::join_all`] re-checks `pending` under it
+    /// before waiting, and a worker whose decrement hit zero locks it before notifying, so
+    /// the wake-up can never be lost.
+    done: Mutex<()>,
     /// Signalled whenever `pending` drops to zero.
     all_done: Condvar,
     /// Set by a worker whose job panicked; drained by dispatch (fail fast) or by `scoped`
@@ -128,9 +147,11 @@ impl Shared {
             self.job_panicked.store(true, Ordering::SeqCst);
         }
         self.executed[me].fetch_add(1, Ordering::Relaxed);
-        let mut pending = lock(&self.pending);
-        *pending -= 1;
-        if *pending == 0 {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last job of the scope: take the completion lock before notifying.  A joiner
+            // that saw `pending > 0` is either still holding the lock (we wait for it, then
+            // our notify lands after its `wait` began) or already waiting — never between.
+            let _done = lock(&self.done);
             self.all_done.notify_all();
         }
     }
@@ -193,7 +214,8 @@ impl WorkerPool {
             deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             parking: Mutex::new(false),
             work_ready: Condvar::new(),
-            pending: Mutex::new(0),
+            pending: AtomicUsize::new(0),
+            done: Mutex::new(()),
             all_done: Condvar::new(),
             job_panicked: AtomicBool::new(false),
             steals: AtomicUsize::new(0),
@@ -344,7 +366,7 @@ impl<'scope> Scope<'_, 'scope> {
         let w = worker % shared.deques.len();
         // The count must be raised before the push — a worker may finish the job (and
         // decrement) before this thread would otherwise get around to incrementing.
-        *lock(&shared.pending) += 1;
+        shared.pending.fetch_add(1, Ordering::SeqCst);
         self.jobs += 1;
         let job: Thunk<'scope> = Box::new(f);
         // SAFETY: the lifetime of the boxed job is erased so it can sit on a deque consumed
@@ -362,14 +384,10 @@ impl<'scope> Scope<'_, 'scope> {
 
     /// Blocks until every job submitted to this scope has completed.
     fn join_all(&self) {
-        let mut pending = lock(&self.pool.shared.pending);
-        while *pending > 0 {
-            pending = self
-                .pool
-                .shared
-                .all_done
-                .wait(pending)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let shared = &self.pool.shared;
+        let mut done = lock(&shared.done);
+        while shared.pending.load(Ordering::SeqCst) > 0 {
+            done = shared.all_done.wait(done).unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 }

@@ -290,19 +290,97 @@ fn session_weight(session: &GroupSession) -> usize {
     session.remaining_horizon().unwrap_or(OPEN_HORIZON_WEIGHT)
 }
 
-/// Advances one slice of a shard's sessions — a whole shard, or one work-stealing batch —
-/// one epoch each; returns the slice's tick tally and its remaining-work weight.
+/// The per-session **hot** state: the few bytes a tick must read to decide whether the
+/// session's cold body needs to be touched at all (see the [`Shard`] docs for the split).
 ///
-/// This is the unit of parallel work.  Sessions are fully independent, so slicing a shard
-/// into batches (and letting idle workers steal them) changes only the schedule, never any
-/// counter.
+/// Every field is a mirror of session state that only changes at known points — after an
+/// [`advance`](GroupSession::advance) (refreshed on the worker by [`HotEntry::refresh`]),
+/// on [`submit`](MonitoringEngine::submit) (`pending`), and on placement / deregistration
+/// (`vacant`) — so reading the mirror is always equivalent to asking the session.
+#[derive(Debug, Clone, Copy)]
+struct HotEntry {
+    /// The group occupying this slot (stale while `vacant`).
+    id: GroupId,
+    /// The slot is free: its session was deregistered and the slot awaits reuse.
+    vacant: bool,
+    /// Mirror of [`GroupSession::is_finished`]: the whole bounded horizon is consumed.
+    finished: bool,
+    /// Mirror of [`GroupSession::feed_has_next`]: the replay feed can supply an epoch.
+    feed_ready: bool,
+    /// Mirror of [`GroupSession::pending_epochs`]: submitted batches waiting in the inbox.
+    pending: usize,
+    /// Mirror of [`session_weight`]: the session's remaining-work placement weight.
+    weight: usize,
+}
+
+impl HotEntry {
+    fn new(id: GroupId, session: &GroupSession) -> Self {
+        let mut entry = HotEntry {
+            id,
+            vacant: false,
+            finished: false,
+            feed_ready: false,
+            pending: 0,
+            weight: 0,
+        };
+        entry.refresh(session);
+        entry
+    }
+
+    /// Re-mirrors the session after an advance (the one place its clock, feed cursor and
+    /// inbox all change).
+    fn refresh(&mut self, session: &GroupSession) {
+        self.finished = session.is_finished();
+        self.feed_ready = session.feed_has_next();
+        self.pending = session.pending_epochs();
+        self.weight = session_weight(session);
+    }
+}
+
+/// Advances one slice of a shard — a whole shard, or one work-stealing batch — one epoch
+/// per live session; returns the slice's tick tally and its remaining-work weight.
+///
+/// This is the unit of parallel work, and the engine's memory hot path: the loop *streams*
+/// the dense [`HotEntry`] array and dereferences a session's cold body only when that
+/// session actually has an epoch to consume.  The skip tallies are exact mirrors of what a
+/// full [`GroupSession::advance`] would have returned:
+///
+/// * `vacant` — no session, nothing to count;
+/// * `finished` — `advance` would return [`StepOutcome::Finished`] (no counters) and the
+///   follow-up `is_finished()` check would tally one `finished`; the weight contribution is
+///   0 by definition (a finished horizon has no remaining epochs);
+/// * `pending == 0 && !feed_ready` — `advance` would pop nothing and return
+///   [`StepOutcome::Starved`] without moving the session's clock, so the cached weight is
+///   still current.
+///
+/// Sessions are fully independent, so slicing a shard into batches (and letting idle
+/// workers steal them) changes only the schedule, never any counter; and the skip paths
+/// above change only which memory is touched, never what is counted
+/// (`tests/engine_parity.rs` pins both).
 fn advance_chunk(
-    sessions: &mut [(GroupId, GroupSession)],
+    hot: &mut [HotEntry],
+    cold: &mut [Option<GroupSession>],
     view: IndexView<'_>,
 ) -> (TickSummary, usize) {
+    debug_assert_eq!(hot.len(), cold.len(), "hot and cold chunks must be sliced in lockstep");
     let mut tally = TickSummary::default();
     let mut weight = 0usize;
-    for (_, session) in sessions.iter_mut() {
+    for (entry, slot) in hot.iter_mut().zip(cold.iter_mut()) {
+        if entry.vacant {
+            continue;
+        }
+        if entry.finished {
+            tally.finished += 1;
+            continue;
+        }
+        if entry.pending == 0 && !entry.feed_ready {
+            // Active-set scheduling: a session with nothing to consume is tallied as
+            // starved without walking its cold body (inbox, predictors, cached answer).
+            tally.starved += 1;
+            weight = weight.saturating_add(entry.weight);
+            continue;
+        }
+        let session = slot.as_mut().expect("a non-vacant slot holds a session");
         match session.advance(view) {
             StepOutcome::Finished => {}
             StepOutcome::Starved => tally.starved += 1,
@@ -321,8 +399,9 @@ fn advance_chunk(
             tally.finished += 1;
         }
         // The tick is the one place sessions' remaining horizons change, and it already
-        // walks every session — refresh the cached weight for free, on the worker.
-        weight = weight.saturating_add(session_weight(session));
+        // walks every advanced session — refresh the hot mirror for free, on the worker.
+        entry.refresh(session);
+        weight = weight.saturating_add(entry.weight);
     }
     (tally, weight)
 }
@@ -340,9 +419,32 @@ fn merge_counts(acc: &mut TickSummary, t: &TickSummary) {
 
 /// One shard: a slice of the fleet advanced by a single worker per tick (or, under
 /// [`TickExecutor::WorkStealing`], split into stealable session batches).
+///
+/// # The hot/cold session split
+///
+/// The shard stores its sessions in two parallel arrays indexed by **slot**:
+///
+/// * [`hot`](Shard::hot) — a dense `Vec<HotEntry>` of per-tick decision state (a few dozen
+///   bytes per session: vacancy, finished/feed flags, inbox depth, placement weight).  The
+///   tick streams this array linearly; sessions with nothing to do are skipped or tallied
+///   right here, cache line after cache line, without dereferencing anything.
+/// * [`cold`](Shard::cold) — a slot-stable slab of the full [`GroupSession`] bodies
+///   (predictors, inboxes, metrics, cached answers; hundreds of bytes each).  Only sessions
+///   that actually consume an epoch touch their cold body.
+///
+/// Slots are **stable**: deregistration marks the hot entry vacant, parks the slot on
+/// [`free_slots`](Shard::free_slots) and never moves another session, so directory entries
+/// `(shard, slot)` stay valid without the swap-remove fixups of the old single-vec layout
+/// — `submit`, `group` lookups and deregistration stay O(1).  `hot.len() == cold.len()`
+/// always; a slot is vacant iff its hot entry says so iff its cold option is `None`.
 #[derive(Debug, Default)]
 struct Shard {
-    sessions: Vec<(GroupId, GroupSession)>,
+    /// Dense per-slot tick state, streamed by [`advance_chunk`].
+    hot: Vec<HotEntry>,
+    /// Slot-stable slab of session bodies; `None` marks a vacant (deregistered) slot.
+    cold: Vec<Option<GroupSession>>,
+    /// Vacant slots available for reuse by the next placement on this shard.
+    free_slots: Vec<usize>,
     /// Ticks during which this shard had no live session (no worker was woken for it).
     idle_ticks: usize,
     /// Ticks during which this shard *had* live sessions but advanced none of them — every
@@ -350,18 +452,29 @@ struct Shard {
     /// [`idle_ticks`](Shard::idle_ticks): a starved shard still costs a worker wake-up and
     /// still holds remaining work, so placement must not treat it as free capacity.
     starved_ticks: usize,
-    /// Cached remaining work (the sum of [`session_weight`] over `sessions`), maintained
+    /// Cached remaining work (the sum of [`session_weight`] over live sessions), maintained
     /// incrementally: adjusted on placement and deregistration, recomputed by
-    /// [`advance_all`](Shard::advance_all) while the tick is already visiting every session.
-    /// Keeping it current at every mutation point makes `register` placement O(shards)
-    /// instead of a full O(fleet) re-scan per call.
+    /// [`advance_all`](Shard::advance_all) while the tick is already streaming every hot
+    /// entry.  Keeping it current at every mutation point makes `register` placement
+    /// O(shards) instead of a full O(fleet) re-scan per call.
     weight: usize,
 }
 
 impl Shard {
+    /// Number of registered sessions (occupied slots).
+    fn occupancy(&self) -> usize {
+        self.hot.iter().filter(|h| !h.vacant).count()
+    }
+
+    /// Whether any registered session still has horizon left — read entirely off the hot
+    /// array.
+    fn has_live(&self) -> bool {
+        self.hot.iter().any(|h| !h.vacant && !h.finished)
+    }
+
     /// Advances every live session one epoch; returns this shard's tick tally.
     fn advance_all(&mut self, view: IndexView<'_>) -> TickSummary {
-        let (tally, weight) = advance_chunk(&mut self.sessions, view);
+        let (tally, weight) = advance_chunk(&mut self.hot, &mut self.cold, view);
         self.weight = weight;
         self.note_tick_outcome(&tally);
         tally
@@ -378,32 +491,57 @@ impl Shard {
     /// The invalidation pass of one world change: evaluates the break predicate for every
     /// session and force-recomputes the affected ones against the new view.  Returns
     /// `(sessions checked, affected group ids)`.
+    ///
+    /// A forced recompute consumes no epoch and moves no clock, so the hot mirrors
+    /// (pending, feed, finished, weight) stay valid without a refresh.
     fn invalidate_all(
         &mut self,
         view: IndexView<'_>,
         change: &WorldChange,
     ) -> (usize, Vec<GroupId>) {
         let mut affected = Vec::new();
-        for (id, session) in &mut self.sessions {
+        let mut checked = 0usize;
+        for (entry, slot) in self.hot.iter().zip(self.cold.iter_mut()) {
+            let Some(session) = slot else { continue };
+            checked += 1;
             if session.world_change_invalidates(change) && session.force_recompute(view) {
-                affected.push(*id);
+                affected.push(entry.id);
             }
         }
-        (self.sessions.len(), affected)
+        (checked, affected)
     }
 
     /// Recomputes the remaining work from scratch (the debug cross-check of the cached
     /// [`weight`](Shard::weight) counter).
     #[cfg(debug_assertions)]
     fn recompute_weight(&self) -> usize {
-        self.sessions.iter().map(|(_, s)| session_weight(s)).fold(0usize, usize::saturating_add)
+        self.cold.iter().flatten().map(session_weight).fold(0usize, usize::saturating_add)
+    }
+
+    /// Slab invariants: the arrays run in lockstep and vacancy agrees between them (debug
+    /// cross-check; see the type docs).
+    #[cfg(debug_assertions)]
+    fn check_slab(&self) {
+        debug_assert_eq!(self.hot.len(), self.cold.len(), "hot/cold arrays drifted");
+        for (slot, (entry, session)) in self.hot.iter().zip(self.cold.iter()).enumerate() {
+            debug_assert_eq!(
+                entry.vacant,
+                session.is_none(),
+                "slot {slot}: hot vacancy disagrees with the cold slab"
+            );
+        }
+        debug_assert!(
+            self.free_slots.iter().all(|&slot| self.hot[slot].vacant),
+            "free list holds an occupied slot"
+        );
     }
 }
 
 /// One entry of the shard directory: where a group's session lives, or what it left behind.
 #[derive(Debug)]
 enum DirectoryEntry {
-    /// The group is registered: its session sits at `shards[shard].sessions[slot]`.
+    /// The group is registered: its cold session body sits at `shards[shard].cold[slot]`
+    /// with the matching hot entry at `shards[shard].hot[slot]`.
     Active { shard: usize, slot: usize },
     /// The group deregistered: its session was torn down, these metrics remain for fleet
     /// accounting until the id is reused.
@@ -609,12 +747,14 @@ impl MonitoringEngine {
         let &DirectoryEntry::Active { shard, slot } = self.directory.get(id)? else {
             return None;
         };
-        let (_, session) = self.shards[shard].sessions.swap_remove(slot);
+        // Slot-stable teardown: the slot is marked vacant and parked for reuse; no other
+        // session moves, so no directory entry needs fixing up.
+        let session =
+            self.shards[shard].cold[slot].take().expect("an active directory entry has a session");
+        self.shards[shard].hot[slot].vacant = true;
+        self.shards[shard].free_slots.push(slot);
         self.shards[shard].weight =
             self.shards[shard].weight.saturating_sub(session_weight(&session));
-        if let Some(&(moved_id, _)) = self.shards[shard].sessions.get(slot) {
-            self.directory[moved_id] = DirectoryEntry::Active { shard, slot };
-        }
         let metrics = session.retire();
         // The retained copy is compacted: a churning fleet would otherwise accumulate every
         // dead epoch's per-update samples forever.  The caller gets the full record.
@@ -668,7 +808,9 @@ impl MonitoringEngine {
         let Some(&DirectoryEntry::Active { shard, slot }) = self.directory.get(group_id) else {
             return Err(SubmitError::UnknownGroup(group_id));
         };
-        let session = &mut self.shards[shard].sessions[slot].1;
+        let session = self.shards[shard].cold[slot]
+            .as_mut()
+            .expect("an active directory entry has a session");
         if positions.len() != session.group_size() {
             return Err(SubmitError::WrongGroupSize {
                 group_id,
@@ -680,6 +822,9 @@ impl MonitoringEngine {
             return Err(SubmitError::Finished(group_id));
         }
         session.submit(positions);
+        // Keep the hot mirror current: the next tick's active-set walk must see the queued
+        // epoch without asking the session.
+        self.shards[shard].hot[slot].pending = session.pending_epochs();
         Ok(())
     }
 
@@ -692,9 +837,10 @@ impl MonitoringEngine {
     pub fn drain_events(&mut self) -> Vec<(GroupId, SessionEvent)> {
         let mut drained = Vec::new();
         for shard in &mut self.shards {
-            for (id, session) in &mut shard.sessions {
+            for (entry, slot) in shard.hot.iter().zip(shard.cold.iter_mut()) {
+                let Some(session) = slot else { continue };
                 for event in session.take_events() {
-                    drained.push((*id, event));
+                    drained.push((entry.id, event));
                 }
             }
         }
@@ -742,7 +888,7 @@ impl MonitoringEngine {
         };
         let change = &change;
         let occupied: Vec<&mut Shard> =
-            self.shards.iter_mut().filter(|s| !s.sessions.is_empty()).collect();
+            self.shards.iter_mut().filter(|s| s.occupancy() > 0).collect();
         let results: Vec<(usize, Vec<GroupId>)> = if occupied.len() <= 1 {
             occupied.into_iter().map(|shard| shard.invalidate_all(view, change)).collect()
         } else if let Some(pool) = &mut self.pool {
@@ -785,15 +931,30 @@ impl MonitoringEngine {
         }
     }
 
-    /// Inserts a fresh session for `id` on the least-loaded shard.  If the id carries a
-    /// retired metrics record (it is being reused), the record is folded into the
-    /// reclaimed-epochs aggregate so fleet-wide totals never shrink.
+    /// Inserts a fresh session for `id` on the least-loaded shard, reusing a vacant slot
+    /// when that shard has one (so a churning fleet's slabs stay dense instead of growing
+    /// without bound).  If the id carries a retired metrics record (it is being reused), the
+    /// record is folded into the reclaimed-epochs aggregate so fleet-wide totals never
+    /// shrink.
     fn place(&mut self, id: GroupId, session: GroupSession) {
         let shard = self.least_loaded_shard();
-        let slot = self.shards[shard].sessions.len();
-        self.shards[shard].weight =
-            self.shards[shard].weight.saturating_add(session_weight(&session));
-        self.shards[shard].sessions.push((id, session));
+        let target = &mut self.shards[shard];
+        let entry = HotEntry::new(id, &session);
+        target.weight = target.weight.saturating_add(entry.weight);
+        let slot = match target.free_slots.pop() {
+            Some(slot) => {
+                target.hot[slot] = entry;
+                target.cold[slot] = Some(session);
+                slot
+            }
+            None => {
+                target.hot.push(entry);
+                target.cold.push(Some(session));
+                target.hot.len() - 1
+            }
+        };
+        #[cfg(debug_assertions)]
+        target.check_slab();
         if let DirectoryEntry::Retired(previous) =
             std::mem::replace(&mut self.directory[id], DirectoryEntry::Active { shard, slot })
         {
@@ -902,8 +1063,8 @@ impl MonitoringEngine {
             .enumerate()
             .map(|(shard, s)| ShardLoad {
                 shard,
-                occupancy: s.sessions.len(),
-                live: s.sessions.iter().filter(|(_, session)| !session.is_finished()).count(),
+                occupancy: s.occupancy(),
+                live: s.hot.iter().filter(|h| !h.vacant && !h.finished).count(),
                 idle_ticks: s.idle_ticks,
                 starved_ticks: s.starved_ticks,
                 weight: s.weight,
@@ -926,104 +1087,125 @@ impl MonitoringEngine {
             Some(cache) => self.world.view().with_cache(cache),
             None => self.world.view(),
         };
-        let mut live: Vec<&mut Shard> = Vec::with_capacity(self.shards.len());
+        let mut exec = TickExecCounters::default();
         let mut already_finished = 0usize;
-        for shard in &mut self.shards {
-            if shard.sessions.iter().any(|(_, s)| !s.is_finished()) {
-                live.push(shard);
+
+        // Single-shard engines (the capacity harness's serial baseline) tick fully inline:
+        // no live-shard vector, no tally vector, no executor bookkeeping.  Together with the
+        // per-worker query scratch this makes a steady-state warm-cache tick allocate
+        // nothing at all (`benches/micro.rs` asserts this under the `bench` feature).
+        let tallies: Vec<TickSummary>;
+        let mut summary = if self.shards.len() == 1 {
+            let shard = &mut self.shards[0];
+            if shard.has_live() {
+                exec.batches = 1;
+                shard.advance_all(view)
             } else {
                 shard.idle_ticks += 1;
-                already_finished += shard.sessions.len();
+                already_finished += shard.occupancy();
+                TickSummary::default()
             }
-        }
-        let stealing_batch = match self.executor {
-            TickExecutor::WorkStealing { batch } => Some(batch.max(1)),
-            _ => None,
-        };
-        let mut exec = TickExecCounters::default();
-        let tallies: Vec<TickSummary> = if live.is_empty() {
-            Vec::new()
-        } else if let (Some(batch), Some(pool)) = (stealing_batch, self.pool.as_mut()) {
-            // Work-stealing path: split every live shard into stealable session batches.  A
-            // single live shard deliberately still goes through the pool — that is exactly
-            // the skewed case where its batches must spread over idle workers.
-            let workers = pool.worker_count();
-            let mut chunk_owner: Vec<usize> = Vec::new();
-            let mut per_chunk: Vec<Option<(TickSummary, usize)>>;
-            {
-                let mut chunks: Vec<&mut [(GroupId, GroupSession)]> = Vec::new();
-                for (owner, shard) in live.iter_mut().enumerate() {
-                    for chunk in shard.sessions.chunks_mut(batch) {
-                        chunk_owner.push(owner);
-                        chunks.push(chunk);
-                    }
+        } else {
+            let mut live: Vec<&mut Shard> = Vec::with_capacity(self.shards.len());
+            for shard in &mut self.shards {
+                if shard.has_live() {
+                    live.push(shard);
+                } else {
+                    shard.idle_ticks += 1;
+                    already_finished += shard.occupancy();
                 }
-                per_chunk = vec![None; chunks.len()];
+            }
+            let stealing_batch = match self.executor {
+                TickExecutor::WorkStealing { batch } => Some(batch.max(1)),
+                _ => None,
+            };
+            tallies = if live.is_empty() {
+                Vec::new()
+            } else if let (Some(batch), Some(pool)) = (stealing_batch, self.pool.as_mut()) {
+                // Work-stealing path: split every live shard into stealable batches of
+                // hot/cold slot pairs.  A single live shard deliberately still goes through
+                // the pool — that is exactly the skewed case where its batches must spread
+                // over idle workers.
+                let workers = pool.worker_count();
+                let mut chunk_owner: Vec<usize> = Vec::new();
+                let mut per_chunk: Vec<Option<(TickSummary, usize)>>;
+                {
+                    type SlotChunk<'s> = (&'s mut [HotEntry], &'s mut [Option<GroupSession>]);
+                    let mut chunks: Vec<SlotChunk<'_>> = Vec::new();
+                    for (owner, shard) in live.iter_mut().enumerate() {
+                        let Shard { hot, cold, .. } = &mut **shard;
+                        for pair in hot.chunks_mut(batch).zip(cold.chunks_mut(batch)) {
+                            chunk_owner.push(owner);
+                            chunks.push(pair);
+                        }
+                    }
+                    per_chunk = vec![None; chunks.len()];
+                    pool.scoped(|scope| {
+                        for ((owner, (hot, cold)), slot) in
+                            chunk_owner.iter().zip(chunks).zip(per_chunk.iter_mut())
+                        {
+                            scope.execute_on(owner % workers, move || {
+                                *slot = Some(advance_chunk(hot, cold, view));
+                            });
+                        }
+                    });
+                }
+                let stats = pool.last_scope_stats();
+                exec.batches = stats.jobs;
+                exec.steals = stats.steals;
+                exec.imbalance = stats.imbalance();
+                // Merge the chunk tallies back per shard: the shard's weight is the sum over
+                // its chunks, and its starved-tick counter looks at the whole-shard tally.
+                let mut merged: Vec<(TickSummary, usize)> =
+                    vec![(TickSummary::default(), 0); live.len()];
+                for (owner, slot) in chunk_owner.into_iter().zip(per_chunk) {
+                    let (tally, weight) = slot.expect("the scope barrier ran every job");
+                    let (acc, total_weight) = &mut merged[owner];
+                    merge_counts(acc, &tally);
+                    *total_weight = total_weight.saturating_add(weight);
+                }
+                merged
+                    .into_iter()
+                    .zip(live)
+                    .map(|((tally, weight), shard)| {
+                        shard.weight = weight;
+                        shard.note_tick_outcome(&tally);
+                        tally
+                    })
+                    .collect()
+            } else if live.len() == 1 {
+                exec.batches = 1;
+                live.into_iter().map(|shard| shard.advance_all(view)).collect()
+            } else if let Some(pool) = &mut self.pool {
+                let mut slots: Vec<Option<TickSummary>> = vec![None; live.len()];
                 pool.scoped(|scope| {
-                    for ((owner, chunk), slot) in
-                        chunk_owner.iter().zip(chunks).zip(per_chunk.iter_mut())
-                    {
-                        scope.execute_on(owner % workers, move || {
-                            *slot = Some(advance_chunk(chunk, view));
-                        });
+                    for (shard, slot) in live.into_iter().zip(slots.iter_mut()) {
+                        scope.execute(move || *slot = Some(shard.advance_all(view)));
                     }
                 });
-            }
-            let stats = pool.last_scope_stats();
-            exec.batches = stats.jobs;
-            exec.steals = stats.steals;
-            exec.imbalance = stats.imbalance();
-            // Merge the chunk tallies back per shard: the shard's weight is the sum over its
-            // chunks, and its starved-tick counter looks at the whole-shard tally.
-            let mut merged: Vec<(TickSummary, usize)> =
-                vec![(TickSummary::default(), 0); live.len()];
-            for (owner, slot) in chunk_owner.into_iter().zip(per_chunk) {
-                let (tally, weight) = slot.expect("the scope barrier ran every job");
-                let (acc, total_weight) = &mut merged[owner];
-                merge_counts(acc, &tally);
-                *total_weight = total_weight.saturating_add(weight);
-            }
-            merged
-                .into_iter()
-                .zip(live)
-                .map(|((tally, weight), shard)| {
-                    shard.weight = weight;
-                    shard.note_tick_outcome(&tally);
-                    tally
+                let stats = pool.last_scope_stats();
+                exec.batches = stats.jobs;
+                exec.steals = stats.steals;
+                exec.imbalance = stats.imbalance();
+                slots.into_iter().map(|t| t.expect("the scope barrier ran every job")).collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = live
+                        .into_iter()
+                        .map(|shard| scope.spawn(move || shard.advance_all(view)))
+                        .collect();
+                    exec.batches = handles.len();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("monitoring shard thread panicked"))
+                        .collect()
                 })
-                .collect()
-        } else if live.len() == 1 {
-            exec.batches = 1;
-            live.into_iter().map(|shard| shard.advance_all(view)).collect()
-        } else if let Some(pool) = &mut self.pool {
-            let mut slots: Vec<Option<TickSummary>> = vec![None; live.len()];
-            pool.scoped(|scope| {
-                for (shard, slot) in live.into_iter().zip(slots.iter_mut()) {
-                    scope.execute(move || *slot = Some(shard.advance_all(view)));
-                }
-            });
-            let stats = pool.last_scope_stats();
-            exec.batches = stats.jobs;
-            exec.steals = stats.steals;
-            exec.imbalance = stats.imbalance();
-            slots.into_iter().map(|t| t.expect("the scope barrier ran every job")).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = live
-                    .into_iter()
-                    .map(|shard| scope.spawn(move || shard.advance_all(view)))
-                    .collect();
-                exec.batches = handles.len();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("monitoring shard thread panicked"))
-                    .collect()
+            };
+            tallies.into_iter().fold(TickSummary::default(), |mut acc, t| {
+                merge_counts(&mut acc, &t);
+                acc
             })
         };
-        let mut summary = tallies.into_iter().fold(TickSummary::default(), |mut acc, t| {
-            merge_counts(&mut acc, &t);
-            acc
-        });
         if let (Some(before), Some(cache)) = (cache_before, self.cache.as_deref()) {
             let delta = cache.stats().since(&before);
             exec.cache_hits = delta.hits;
@@ -1075,7 +1257,9 @@ impl MonitoringEngine {
     #[must_use]
     pub fn group(&self, id: GroupId) -> &GroupSession {
         match &self.directory[id] {
-            DirectoryEntry::Active { shard, slot } => &self.shards[*shard].sessions[*slot].1,
+            DirectoryEntry::Active { shard, slot } => self.shards[*shard].cold[*slot]
+                .as_ref()
+                .expect("the directory never points at a vacant slot"),
             DirectoryEntry::Retired(_) => panic!("group {id} has been deregistered"),
         }
     }
@@ -1088,9 +1272,10 @@ impl MonitoringEngine {
     #[must_use]
     pub fn group_metrics(&self, id: GroupId) -> &MonitoringMetrics {
         match &self.directory[id] {
-            DirectoryEntry::Active { shard, slot } => {
-                self.shards[*shard].sessions[*slot].1.metrics()
-            }
+            DirectoryEntry::Active { shard, slot } => self.shards[*shard].cold[*slot]
+                .as_ref()
+                .expect("the directory never points at a vacant slot")
+                .metrics(),
             DirectoryEntry::Retired(metrics) => metrics,
         }
     }
@@ -1150,8 +1335,10 @@ impl MonitoringEngine {
             })
             .collect();
         for shard in shards {
-            for (id, session) in shard.sessions {
-                by_id[id] = Some(session.into_metrics());
+            for (entry, slot) in shard.hot.into_iter().zip(shard.cold) {
+                if let Some(session) = slot {
+                    by_id[entry.id] = Some(session.into_metrics());
+                }
             }
         }
         by_id
@@ -1161,7 +1348,7 @@ impl MonitoringEngine {
     }
 
     fn sessions(&self) -> impl Iterator<Item = &GroupSession> {
-        self.shards.iter().flat_map(|shard| shard.sessions.iter().map(|(_, s)| s))
+        self.shards.iter().flat_map(|shard| shard.cold.iter().filter_map(Option::as_ref))
     }
 }
 

@@ -117,6 +117,36 @@
 //! (`steals`, `imbalance`).  Like the cache, stealing changes only the schedule — every
 //! protocol counter stays identical to the serial replay.
 //!
+//! # Memory layout of the tick hot path
+//!
+//! At fleet scale the tick is memory-bound, not compute-bound: with a warm query cache the
+//! per-session work collapses to a few counter updates and a cache probe, and throughput is
+//! set by how many cache lines a tick must pull.  Three layout decisions keep that number
+//! small (pinned counter-bit-identical by `tests/engine_parity.rs`'s walk-everything
+//! oracle):
+//!
+//! * **Hot/cold session split** — each shard stores its sessions as two parallel arrays
+//!   indexed by *slot*: a dense hot array of per-session decision state (vacancy, finished
+//!   flag, feed readiness, inbox depth, placement weight — a few dozen bytes) and a
+//!   slot-stable cold slab of `Option<GroupSession>` bodies (inbox, predictors, metrics,
+//!   cached answer).  The tick streams the hot array linearly and dereferences a cold body
+//!   only when that session actually has an epoch to consume.  Deregistration marks the
+//!   slot vacant and parks it on a free list; registration reuses parked slots, so churning
+//!   slabs stay dense and directory entries (`id → shard, slot`) never move.
+//! * **Active-set scheduling** — the skip paths of the hot array are exact tallies of what
+//!   a full advance would have returned: a finished session counts `finished` without
+//!   being touched, a session with an empty inbox and an exhausted feed counts `starved`
+//!   (its clock would not have moved, so its cached weight is still current), and a vacant
+//!   slot counts nothing.  A fleet that is mostly idle pays cache lines only for its live
+//!   fraction.
+//! * **Per-worker query scratch arenas** — the index layer stages probe keys and GNN
+//!   candidate staging in thread-local [`mpn_index::QueryScratch`] buffers
+//!   ([`mpn_index::with_scratch`]), so a steady-state warm-cache tick performs *zero*
+//!   per-query heap allocations.  Pool workers persist across ticks, so each worker's
+//!   arenas warm once and are reused for the engine's lifetime; single-shard engines
+//!   additionally tick through an allocation-free fast path (asserted by the counting
+//!   allocator in `mpn-bench`'s `benches/micro.rs` under `--features bench`).
+//!
 //! # Engine-wide snapshots
 //!
 //! [`MonitoringEngine::report`] returns an [`EngineReport`]: one coherent struct holding

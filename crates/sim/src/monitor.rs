@@ -152,6 +152,10 @@ pub enum SessionEvent {
 pub struct TrajectoryFeed {
     group: Arc<Vec<Trajectory>>,
     cursor: usize,
+    /// The common horizon, computed once at construction: the trajectories are immutable
+    /// behind the `Arc`, so recomputing the min over the group on every epoch (as the
+    /// original implementation did) is pure pointer-chasing in the tick hot path.
+    horizon: usize,
 }
 
 impl TrajectoryFeed {
@@ -163,7 +167,8 @@ impl TrajectoryFeed {
     pub fn new(group: impl Into<Arc<Vec<Trajectory>>>) -> Self {
         let group = group.into();
         assert!(!group.is_empty(), "monitoring requires at least one user trajectory");
-        Self { group, cursor: 0 }
+        let horizon = group.iter().map(Trajectory::len).min().unwrap_or(0);
+        Self { group, cursor: 0, horizon }
     }
 
     /// Creates a feed from a borrowed group, cloning the trajectories once.
@@ -184,7 +189,14 @@ impl TrajectoryFeed {
     /// Number of epochs the feed can supply: the shortest trajectory's length.
     #[must_use]
     pub fn horizon(&self) -> usize {
-        self.group.iter().map(Trajectory::len).min().unwrap_or(0)
+        self.horizon
+    }
+
+    /// Whether at least one more epoch is available — a cursor/horizon compare, cheap
+    /// enough for the engine's active-set scheduling to ask every tick.
+    #[must_use]
+    pub fn has_next(&self) -> bool {
+        self.cursor < self.horizon
     }
 
     /// Number of epochs already fed.
@@ -206,7 +218,7 @@ impl TrajectoryFeed {
     /// Writes the next epoch's positions into `out` (cleared first); returns `false` when
     /// the feed is exhausted.
     pub(crate) fn fill_next(&mut self, out: &mut Vec<Point>) -> bool {
-        if self.cursor >= self.horizon() {
+        if self.cursor >= self.horizon {
             return false;
         }
         out.clear();
@@ -216,11 +228,22 @@ impl TrajectoryFeed {
     }
 }
 
+/// Inbox capacity kept after a drain: a burst of submitted epochs (a reconnecting client
+/// flushing its backlog) grows the inbox arbitrarily, and without a release the high-water
+/// capacity would be pinned for the rest of the session's life — at a million sessions that
+/// is pure wasted resident memory.  Once the inbox drains, anything above this many slots is
+/// returned to the allocator.
+pub(crate) const INBOX_HIGH_WATER: usize = 32;
+
 /// The monitoring state machine of one moving group, owning all of its server-side state.
 #[derive(Debug)]
 pub struct GroupSession {
     config: MonitorConfig,
     engine: Box<dyn SafeRegionEngine>,
+    /// Cached [`SafeRegionEngine::uses_headings`]: when `false` (circle groups) the
+    /// per-epoch [`SessionState::observe`] call — one `atan2` per user — is skipped, since
+    /// the predictor state would be write-only.
+    headings_needed: bool,
     session: SessionState,
     metrics: MonitoringMetrics,
     /// The current epoch's positions (reused across epochs in the replay path).
@@ -271,8 +294,10 @@ impl GroupSession {
         assert!(group_size > 0, "monitoring requires at least one user trajectory");
         let session = SessionState::new(group_size, config.heading_smoothing)
             .with_persistent_buffers(config.persist_buffers);
+        let engine = config.method.engine();
         Self {
-            engine: config.method.engine(),
+            headings_needed: engine.uses_headings(),
+            engine,
             session,
             metrics: MonitoringMetrics::new(group_size),
             locations: Vec::with_capacity(group_size),
@@ -369,6 +394,27 @@ impl GroupSession {
         self.inbox.len()
     }
 
+    /// Whether the replay feed (if any) still has epochs to supply.
+    #[must_use]
+    pub fn feed_has_next(&self) -> bool {
+        self.feed.as_ref().is_some_and(TrajectoryFeed::has_next)
+    }
+
+    /// Whether the next [`advance`](GroupSession::advance) would report
+    /// [`StepOutcome::Starved`]: the session is not finished, nothing is queued and the feed
+    /// (if any) is exhausted.  The engine's active-set scheduling uses this to tally a
+    /// starved session without running the advance path at all.
+    #[must_use]
+    pub fn would_starve(&self) -> bool {
+        !self.is_finished() && self.inbox.is_empty() && !self.feed_has_next()
+    }
+
+    /// The inbox capacity currently held (test hook for the drain-shrink policy).
+    #[cfg(test)]
+    pub(crate) fn inbox_capacity(&self) -> usize {
+        self.inbox.capacity()
+    }
+
     /// Drains the per-user protocol events recorded since the last call (always empty unless
     /// enabled via [`with_events`](GroupSession::with_events)).
     pub fn take_events(&mut self) -> Vec<SessionEvent> {
@@ -408,6 +454,10 @@ impl GroupSession {
         if let Some(batch) = self.inbox.pop_front() {
             debug_assert_eq!(batch.len(), self.group_size, "submit checked the batch size");
             self.locations = batch;
+            if self.inbox.is_empty() && self.inbox.capacity() > INBOX_HIGH_WATER {
+                // The backlog is drained: release the burst capacity (see INBOX_HIGH_WATER).
+                self.inbox.shrink_to(INBOX_HIGH_WATER);
+            }
         } else {
             let fed = match self.feed.as_mut() {
                 Some(feed) => feed.fill_next(&mut self.locations),
@@ -419,7 +469,9 @@ impl GroupSession {
         }
 
         let t = self.next_t;
-        self.session.observe(&self.locations);
+        if self.headings_needed {
+            self.session.observe(&self.locations);
+        }
 
         if !self.registered {
             // Query registration: every user reports her location once and receives the first
@@ -751,6 +803,58 @@ mod tests {
             assert!(session.take_events().is_empty(), "quiet epochs emit nothing");
         }
         panic!("the workload never produced an update");
+    }
+
+    #[test]
+    fn drained_inboxes_release_burst_capacity() {
+        let (tree, group) = workload();
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+        let mut feed = TrajectoryFeed::from_group(&group);
+        let mut session = GroupSession::streaming(group.len(), config);
+
+        // A reconnect-style burst: several hundred epochs flushed at once.
+        for _ in 0..300 {
+            session.submit(feed.next_epoch().unwrap());
+        }
+        assert!(session.inbox_capacity() >= 300);
+        while session.pending_epochs() > 0 {
+            assert_ne!(session.advance(&tree), StepOutcome::Starved);
+        }
+        assert!(
+            session.inbox_capacity() <= INBOX_HIGH_WATER,
+            "draining the backlog must release the burst capacity (kept {})",
+            session.inbox_capacity()
+        );
+
+        // Steady trickle below the high-water mark: no shrink churn, sessions keep working.
+        session.submit(feed.next_epoch().unwrap());
+        assert!(matches!(session.advance(&tree), StepOutcome::Quiet | StepOutcome::Updated { .. }));
+    }
+
+    #[test]
+    fn would_starve_predicts_the_next_advance() {
+        let (tree, group) = workload();
+        let config = MonitorConfig::new(Objective::Max, Method::circle());
+
+        // Streaming: starves exactly when the inbox is empty.
+        let mut session = GroupSession::streaming(group.len(), config);
+        assert!(session.would_starve());
+        assert!(!session.feed_has_next(), "streaming sessions have no feed");
+        session.submit(group.iter().map(|t| t.at(0)).collect());
+        assert!(!session.would_starve());
+        assert_eq!(session.advance(&tree), StepOutcome::Registered);
+        assert!(session.would_starve());
+        assert_eq!(session.advance(&tree), StepOutcome::Starved);
+
+        // Replay: never starves before the horizon, and a finished session is not starved.
+        let mut replay =
+            GroupSession::replay(TrajectoryFeed::from_group(&group), config.with_max_timestamps(5));
+        while !replay.is_finished() {
+            assert!(!replay.would_starve());
+            assert_ne!(replay.advance(&tree), StepOutcome::Starved);
+        }
+        assert!(!replay.would_starve(), "finished is not starved");
+        assert_eq!(replay.advance(&tree), StepOutcome::Finished);
     }
 
     #[test]

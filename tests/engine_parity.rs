@@ -11,19 +11,25 @@
 //!   produces the same counters as the feed replay, epoch for epoch,
 //! * the persistent worker-pool executor produces the same fleet `TickSummary` sequence as
 //!   the legacy scoped-thread executor (pinning the executor swap),
+//! * the hot/cold split engine — dense per-shard `HotEntry` arrays, slot-stable session
+//!   slabs, active-set skip paths — matches a serial walk-everything oracle tick for tick
+//!   across churn, starvation, batch sizes and world mutation (pinning the memory-layout
+//!   overhaul),
 //! * persistent §5.4 buffers strictly reduce R-tree queries per update for `Tile-D-b`.
 
 use std::sync::Arc;
 
 use mpn::core::{Method, MpnServer, Objective};
 use mpn::geom::{HeadingPredictor, Point};
+use mpn::index::WorldView;
 use mpn::index::{QueryCache, RTree};
 use mpn::mobility::poi::{clustered_pois, PoiConfig};
 use mpn::mobility::waypoint::{random_waypoint, taxi_trajectory, TaxiConfig, WaypointConfig};
 use mpn::mobility::Trajectory;
 use mpn::sim::{
-    run_monitoring, EpochUpdate, Message, MonitorConfig, MonitoringEngine, TickExecutor,
-    TickSummary, Traffic, TrajectoryFeed,
+    run_monitoring, EpochUpdate, GroupSession, Message, MonitorConfig, MonitoringEngine,
+    MonitoringMetrics, StepOutcome, TickExecutor, TickSummary, Traffic, TrajectoryFeed,
+    WorldChange,
 };
 use proptest::collection::vec as prop_vec;
 use proptest::prelude::*;
@@ -332,6 +338,257 @@ proptest! {
         let totals = stealing.exec_totals();
         prop_assert!(totals.cache_misses > 0, "a fresh cache cannot serve only hits");
         prop_assert!(totals.batches > 0, "every live tick dispatches at least one batch");
+    }
+}
+
+/// A serial "walk everything" oracle: the pre-split engine semantics, re-implemented as the
+/// plainest possible loop — one [`WorldView`], one `Vec<Option<GroupSession>>` indexed by
+/// group id, every session asked (and advanced when live) on every tick.  No hot mirrors,
+/// no vacancy/finished/starved skip paths, no executor, no query cache.  The hot/cold
+/// split and active-set scheduling may only change which memory a tick touches, never a
+/// counter; this oracle is what "never a counter" is measured against.
+struct WalkEverythingOracle {
+    world: WorldView,
+    sessions: Vec<Option<GroupSession>>,
+    retired: Vec<MonitoringMetrics>,
+    clock: usize,
+}
+
+impl WalkEverythingOracle {
+    fn new(tree: &Arc<RTree>) -> Self {
+        Self {
+            world: WorldView::new(Arc::clone(tree)),
+            sessions: Vec::new(),
+            retired: Vec::new(),
+            clock: 0,
+        }
+    }
+
+    /// Mirrors an engine registration: the engine assigned `id`, the oracle stores the twin
+    /// session under the same index (reusing the slot of a deregistered id exactly like the
+    /// engine's free-list does).
+    fn register(&mut self, id: usize, session: GroupSession) {
+        if id == self.sessions.len() {
+            self.sessions.push(Some(session));
+        } else {
+            let slot = &mut self.sessions[id];
+            assert!(slot.is_none(), "the engine only reuses deregistered ids");
+            *slot = Some(session);
+        }
+    }
+
+    fn deregister(&mut self, id: usize) -> bool {
+        match self.sessions[id].take() {
+            Some(session) => {
+                self.retired.push(session.retire());
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn tick(&mut self) -> TickSummary {
+        let mut tally = TickSummary::default();
+        let view = self.world.view();
+        for slot in &mut self.sessions {
+            let Some(session) = slot else { continue };
+            if session.is_finished() {
+                tally.finished += 1;
+                continue;
+            }
+            match session.advance(view) {
+                StepOutcome::Finished => {}
+                StepOutcome::Starved => tally.starved += 1,
+                StepOutcome::Registered => {
+                    tally.advanced += 1;
+                    tally.registered += 1;
+                }
+                StepOutcome::Quiet => tally.advanced += 1,
+                StepOutcome::Updated { violators } => {
+                    tally.advanced += 1;
+                    tally.updated += 1;
+                    tally.violators += violators;
+                }
+            }
+            if session.is_finished() {
+                tally.finished += 1;
+            }
+        }
+        tally.retired = self.sessions.iter().filter(|s| s.is_none()).count();
+        tally.tick = self.clock;
+        self.clock += 1;
+        tally
+    }
+
+    /// Mirrors `apply_world_change`: `(applied, groups checked, affected ids)`.
+    fn apply(&mut self, change: WorldChange) -> (bool, usize, Vec<usize>) {
+        let applied = match change {
+            WorldChange::PoiInsert { location } => {
+                self.world.insert(location);
+                true
+            }
+            WorldChange::PoiDelete { poi } => self.world.delete(poi).is_some(),
+        };
+        if !applied {
+            return (false, 0, Vec::new());
+        }
+        let view = self.world.view();
+        let mut checked = 0usize;
+        let mut affected = Vec::new();
+        for (id, slot) in self.sessions.iter_mut().enumerate() {
+            let Some(session) = slot else { continue };
+            checked += 1;
+            if session.world_change_invalidates(&change) && session.force_recompute(view) {
+                affected.push(id);
+            }
+        }
+        self.world.maybe_compact();
+        (true, checked, affected)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The memory-locality overhaul — hot/cold session split, slot-stable slabs with
+    // free-list reuse, active-set skip paths (vacant / finished / starved), per-worker
+    // query scratch — must be invisible in every protocol counter.  A scripted fleet mixing
+    // bounded replays (which finish mid-run), open-horizon streams (which starve whenever
+    // the script withholds their epoch), churn (deregister + id reuse) and POI world
+    // mutation runs side by side with the serial walk-everything oracle; every tick
+    // summary, every invalidation result and every per-group counter must be identical.
+    #[test]
+    fn hot_cold_engine_matches_the_walk_everything_oracle(
+        shards in 1usize..=4,
+        batch in 1usize..=8,
+        replay_sizes in prop_vec(1usize..=3, 1..6),
+        stream_sizes in prop_vec(1usize..=3, 0..3),
+        script in prop_vec(0usize..256, 10..17),
+    ) {
+        const HORIZON: usize = 8;
+        let (tree, fleet) = skewed_fleet(&replay_sizes, 24);
+        let replay_config = MonitorConfig::new(Objective::Max, Method::circle())
+            .with_max_timestamps(HORIZON);
+        let stream_config = MonitorConfig::new(Objective::Max, Method::circle());
+
+        let mut engine = MonitoringEngine::with_executor(
+            Arc::clone(&tree),
+            shards,
+            TickExecutor::WorkStealing { batch },
+        )
+        .with_query_cache(QueryCache::new());
+        let mut oracle = WalkEverythingOracle::new(&tree);
+
+        for group in &fleet {
+            let id = engine.register(TrajectoryFeed::from_group(group), replay_config);
+            oracle.register(id, GroupSession::replay(TrajectoryFeed::from_group(group), replay_config));
+        }
+        let mut stream_ids = Vec::new();
+        for &size in &stream_sizes {
+            let id = engine.register_stream(size, stream_config);
+            oracle.register(id, GroupSession::streaming(size, stream_config));
+            stream_ids.push((id, size));
+        }
+
+        for (t, &op) in script.iter().enumerate() {
+            // Feed roughly half the streams' ticks: the withheld ticks starve the streams,
+            // exercising the active-set starve-skip against the oracle's full advance.
+            for (i, &(id, size)) in stream_ids.iter().enumerate() {
+                if (op >> (i % 8)) & 1 == 0 {
+                    let positions: Vec<Point> = (0..size)
+                        .map(|u| Point::new(
+                            40.0 + ((t * 13 + u * 7 + i * 3) % 400) as f64,
+                            60.0 + ((t * 29 + u * 11) % 400) as f64,
+                        ))
+                        .collect();
+                    engine
+                        .submit(EpochUpdate { group_id: id, positions: positions.clone() })
+                        .expect("streams are never deregistered by the script");
+                    oracle.sessions[id]
+                        .as_mut()
+                        .expect("oracle mirrors the engine's membership")
+                        .submit(positions);
+                }
+            }
+
+            // Churn: deregister one replay group, then maybe re-register over the freed id.
+            if op % 7 == 0 {
+                let id = (op / 7) % oracle.sessions.len();
+                if !stream_ids.iter().any(|&(sid, _)| sid == id) {
+                    let engine_removed = engine.deregister(id).is_some();
+                    let oracle_removed = oracle.deregister(id);
+                    prop_assert_eq!(engine_removed, oracle_removed, "deregister({}) diverged", id);
+                }
+            }
+            if op % 11 == 0 {
+                let group = &fleet[op % fleet.len()];
+                let config = MonitorConfig::new(Objective::Max, Method::circle())
+                    .with_max_timestamps(4);
+                let id = engine.register(TrajectoryFeed::from_group(group), config);
+                oracle.register(id, GroupSession::replay(TrajectoryFeed::from_group(group), config));
+            }
+
+            // World mutation: inserts and (sometimes unknown) deletes.
+            if op % 5 == 0 {
+                let change = if op % 2 == 0 {
+                    WorldChange::PoiInsert {
+                        location: Point::new(
+                            ((op * 17 + t * 41) % 500) as f64,
+                            ((op * 23 + t * 37) % 500) as f64,
+                        ),
+                    }
+                } else {
+                    WorldChange::PoiDelete { poi: (op * 13 + t) % 170 }
+                };
+                let summary = engine.apply_world_change(change);
+                let (applied, checked, affected) = oracle.apply(change);
+                prop_assert_eq!(summary.applied, applied, "tick {}: applied diverged", t);
+                prop_assert_eq!(summary.groups_checked, checked, "tick {}: checked diverged", t);
+                prop_assert_eq!(summary.invalidated, affected.len());
+                let mut engine_affected = summary.affected.clone();
+                engine_affected.sort_unstable();
+                prop_assert_eq!(engine_affected, affected, "tick {}: affected sets diverged", t);
+            }
+
+            let a = engine.tick();
+            let b = oracle.tick();
+            prop_assert_eq!(a, b, "tick {} diverged from the walk-everything oracle", t);
+        }
+
+        // Every surviving group's counters, and the fleet-wide totals (live + retired +
+        // reclaimed), must match the oracle's.
+        for (id, slot) in oracle.sessions.iter().enumerate() {
+            if let Some(session) = slot {
+                prop_assert_eq!(
+                    counters_of(engine.group_metrics(id)),
+                    counters_of(session.metrics()),
+                    "group {} diverged from its oracle twin", id
+                );
+            }
+        }
+        let fleet_metrics = engine.fleet_metrics();
+        let oracle_all: Vec<&MonitoringMetrics> = oracle
+            .sessions
+            .iter()
+            .filter_map(|s| s.as_ref().map(GroupSession::metrics))
+            .chain(oracle.retired.iter())
+            .collect();
+        prop_assert_eq!(
+            fleet_metrics.updates,
+            oracle_all.iter().map(|m| m.updates).sum::<usize>()
+        );
+        prop_assert_eq!(
+            fleet_metrics.timestamps,
+            oracle_all.iter().map(|m| m.timestamps).sum::<usize>()
+        );
+        prop_assert_eq!(
+            fleet_metrics.traffic.packets,
+            oracle_all.iter().map(|m| m.traffic.packets).sum::<usize>()
+        );
+        prop_assert_eq!(
+            fleet_metrics.group_size,
+            oracle_all.iter().map(|m| m.group_size).sum::<usize>()
+        );
     }
 }
 
